@@ -1,0 +1,176 @@
+// Command daccebench regenerates the paper's evaluation artifacts:
+//
+//	daccebench table1 [-calls N] [-bench name,name]   Table 1
+//	daccebench fig8   [-calls N] [-bench ...]         Figure 8 overhead
+//	daccebench fig9   [-calls N] [-bench ...]         Figure 9 progress series
+//	daccebench fig10  [-calls N] [-bench ...]         Figure 10 depth CDFs
+//	daccebench all    [-calls N]                      everything
+//
+// Results print to stdout; progress goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dacce/internal/experiments"
+	"dacce/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	calls := fs.Int64("calls", 0, "calls per benchmark (0 = profile default)")
+	benchList := fs.String("bench", "", "comma-separated benchmark subset")
+	sample := fs.Int64("sample", 256, "sampling period in calls")
+	profileFile := fs.String("profiles", "", "JSON file of custom workload profiles (see 'daccebench dump-profiles')")
+	_ = fs.Parse(os.Args[2:])
+
+	if cmd == "dump-profiles" {
+		if err := workload.WriteProfiles(os.Stdout, workload.Profiles()); err != nil {
+			fmt.Fprintln(os.Stderr, "daccebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Calls: *calls, SampleEvery: *sample}
+	var err error
+	profiles := func() []workload.Profile {
+		if *profileFile != "" {
+			ps, err := workload.LoadProfilesFile(*profileFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "daccebench:", err)
+				os.Exit(1)
+			}
+			return ps
+		}
+		return selectProfiles(*benchList)
+	}
+
+	switch cmd {
+	case "table1":
+		err = runTable1(profiles(), cfg, false)
+	case "fig8":
+		err = runTable1(profiles(), cfg, true)
+	case "fig9":
+		err = runFig9(names(*benchList, experiments.Fig9Names), cfg)
+	case "fig10":
+		err = runFig10(names(*benchList, experiments.Fig10Names), cfg)
+	case "report":
+		out := "EXPERIMENTS.md"
+		if args := fs.Args(); len(args) > 0 {
+			out = args[0]
+		}
+		err = runReport(out, cfg)
+	case "all":
+		if err = runTable1(profiles(), cfg, true); err == nil {
+			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
+				err = runFig10(experiments.Fig10Names, cfg)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "daccebench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-profiles file.json]")
+}
+
+func runReport(path string, cfg experiments.RunConfig) error {
+	if cfg.Calls == 0 {
+		cfg.Calls = 300_000
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteReport(f, cfg, os.Stderr); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "report written to", path)
+	return nil
+}
+
+func selectProfiles(list string) []workload.Profile {
+	if list == "" {
+		return workload.Profiles()
+	}
+	var out []workload.Profile
+	for _, n := range strings.Split(list, ",") {
+		pr, ok := workload.ByName(strings.TrimSpace(n))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "daccebench: unknown benchmark %q (see workload.Names)\n", n)
+			os.Exit(2)
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+func names(list string, def []string) []string {
+	if list == "" {
+		return def
+	}
+	parts := strings.Split(list, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func runTable1(profiles []workload.Profile, cfg experiments.RunConfig, fig8 bool) error {
+	rows, err := experiments.Table1(profiles, cfg, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if fig8 {
+		fmt.Println("# Figure 8: runtime overhead (cost model), PCCE vs DACCE")
+		return experiments.RenderFig8(rows, os.Stdout)
+	}
+	fmt.Println("# Table 1: characteristics under PCCE and DACCE")
+	return experiments.RenderTable1(rows, os.Stdout)
+}
+
+func runFig9(benchNames []string, cfg experiments.RunConfig) error {
+	for _, n := range benchNames {
+		s, err := experiments.Fig9(n, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Figure 9: encoding progress — %s\n", n)
+		if err := s.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig10(benchNames []string, cfg experiments.RunConfig) error {
+	for _, n := range benchNames {
+		s, err := experiments.Fig10(n, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Figure 10: cumulative stack-depth distribution — %s\n", n)
+		if err := s.Write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command daccedecode decodes captured calling contexts offline, from a
+// decode bundle and a capture file produced by `daccerun -dump` — the
+// error-reporting pipeline of the paper's §1: the instrumented process
+// ships tiny (id, ccStack) records; the analyst decodes them later.
+//
+//	daccerun -bench 445.gobmk -dump /tmp/run        # writes bundle + captures
+//	daccedecode -dir /tmp/run [-n 10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dacce/internal/ccprof"
+	"dacce/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory holding bundle.json and captures.json")
+	n := flag.Int("n", 0, "decode only the first n captures (0 = all)")
+	tree := flag.Bool("tree", false, "aggregate all captures into a calling-context profile tree instead of listing them")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: daccedecode -dir <dump-dir> [-n N] [-tree]")
+		os.Exit(2)
+	}
+	if err := run(*dir, *n, *tree); err != nil {
+		fmt.Fprintln(os.Stderr, "daccedecode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, n int, tree bool) error {
+	bf, err := os.Open(filepath.Join(dir, "bundle.json"))
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	bundle, err := core.ReadBundle(bf)
+	if err != nil {
+		return err
+	}
+	dec, err := core.NewDecoderFromBundle(bundle)
+	if err != nil {
+		return err
+	}
+
+	cf, err := os.Open(filepath.Join(dir, "captures.json"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	var captures []*core.Capture
+	if err := json.NewDecoder(cf).Decode(&captures); err != nil {
+		return fmt.Errorf("reading captures: %w", err)
+	}
+	if n > 0 && n < len(captures) {
+		captures = captures[:n]
+	}
+
+	fmt.Printf("bundle: %d funcs, %d edges, %d epochs; decoding %d captures\n\n",
+		len(bundle.Funcs), len(bundle.Edges), len(bundle.Epochs), len(captures))
+
+	if tree {
+		prof := ccprof.New(dec.P)
+		failures := 0
+		for _, c := range captures {
+			ctx, err := dec.Decode(c)
+			if err != nil {
+				failures++
+				continue
+			}
+			if err := prof.Add(ctx); err != nil {
+				failures++
+			}
+		}
+		fmt.Printf("calling-context profile: %d contexts, %d distinct\n\n", prof.Total(), prof.NumContexts())
+		if err := prof.WriteTree(os.Stdout, 0.01); err != nil {
+			return err
+		}
+		fmt.Println("\nhottest contexts:")
+		for _, h := range prof.Hot(10) {
+			fmt.Printf("  %5.1f%%  %s\n", 100*h.Frac, pretty(bundle, h.Context))
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d captures failed to decode", failures)
+		}
+		return nil
+	}
+
+	failures := 0
+	for i, c := range captures {
+		ctx, err := dec.Decode(c)
+		if err != nil {
+			failures++
+			fmt.Printf("%4d  epoch=%-3d id=%-8d  DECODE ERROR: %v\n", i, c.Epoch, c.ID, err)
+			continue
+		}
+		fmt.Printf("%4d  epoch=%-3d id=%-8d |cc|=%-3d %s\n", i, c.Epoch, c.ID, len(c.CC), pretty(bundle, ctx))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d captures failed to decode", failures, len(captures))
+	}
+	return nil
+}
+
+func pretty(b *core.Bundle, ctx core.Context) string {
+	s := ""
+	for i, f := range ctx {
+		if i > 0 {
+			s += " → "
+		}
+		s += b.Funcs[f.Fn].Name
+	}
+	return s
+}

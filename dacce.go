@@ -1,0 +1,228 @@
+// Package dacce is a library implementation of DACCE — Dynamic and
+// Adaptive Calling Context Encoding (Li, Wang, Wu, Hsu, Xu; CGO 2014) —
+// together with the substrate it needs (an instrumentable execution
+// machine and a program model) and the baselines it is evaluated
+// against (PCCE, stack walking, calling-context trees, probabilistic
+// calling context).
+//
+// A calling context — the call path from main to the current point — is
+// encoded online into a single integer id per thread, maintained by
+// instrumentation on call edges. DACCE discovers call edges at run
+// time, encodes only what actually executes, adapts the encoding to the
+// program's behaviour, and can decode any captured (id, ccStack) pair
+// back into the exact call path.
+//
+// # Quick start
+//
+//	b := dacce.NewBuilder()
+//	main := b.Func("main")
+//	f := b.Func("f")
+//	site := b.CallSite(main, f)
+//	b.Body(main, func(x dacce.Exec) { x.Call(site, dacce.NoFunc) })
+//	b.Body(f, func(x dacce.Exec) { /* ... */ })
+//	p := b.MustBuild()
+//
+//	enc := dacce.NewEncoder(p, dacce.Options{})
+//	m := dacce.NewMachine(p, enc, dacce.MachineConfig{SampleEvery: 100})
+//	stats, _ := m.Run()
+//	for _, s := range stats.Samples {
+//	    ctx, _ := enc.DecodeSample(s)
+//	    fmt.Println(ctx.Pretty(p))
+//	}
+//
+// The examples/ directory contains runnable programs: a quickstart, a
+// data-race reporter, an event-log deduplicator and an adaptive hot-path
+// profiler. The cmd/daccebench binary regenerates the paper's Table 1
+// and Figures 8–10 on synthetic SPEC CPU2006 / Parsec 2.1 workloads.
+package dacce
+
+import (
+	"dacce/internal/breadcrumbs"
+	"dacce/internal/ccprof"
+	"dacce/internal/cct"
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/pcc"
+	"dacce/internal/pcce"
+	"dacce/internal/prog"
+	"dacce/internal/stackwalk"
+	"dacce/internal/trace"
+	"dacce/internal/workload"
+)
+
+// Program model: build programs with a Builder, give functions bodies
+// written against Exec, then run them on a Machine.
+type (
+	// Program is an immutable executable program.
+	Program = prog.Program
+	// Builder constructs Programs.
+	Builder = prog.Builder
+	// Exec is the interface function bodies are written against.
+	Exec = prog.Exec
+	// Body is a function's behaviour.
+	Body = prog.Body
+	// FuncID identifies a function.
+	FuncID = prog.FuncID
+	// SiteID identifies a call site.
+	SiteID = prog.SiteID
+	// ModuleID identifies a module (executable or shared library).
+	ModuleID = prog.ModuleID
+	// Site is a call site.
+	Site = prog.Site
+	// CallKind classifies call sites (normal, indirect, tail, PLT).
+	CallKind = prog.Kind
+)
+
+// Sentinel identifiers.
+const (
+	NoFunc = prog.NoFunc
+	NoSite = prog.NoSite
+)
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return prog.NewBuilder() }
+
+// Execution machine: the instrumentable substrate encoders run on.
+type (
+	// Machine executes one Program under one Scheme.
+	Machine = machine.Machine
+	// MachineConfig configures sampling, seeding and steady-state
+	// accounting.
+	MachineConfig = machine.Config
+	// Scheme is an installable calling-context encoding scheme.
+	Scheme = machine.Scheme
+	// RunStats is the result of a run.
+	RunStats = machine.RunStats
+	// Sample pairs an encoder capture with the ground-truth shadow
+	// stack.
+	Sample = machine.Sample
+	// Thread is an executing thread (the concrete Exec).
+	Thread = machine.Thread
+	// NullScheme runs without any instrumentation (baseline).
+	NullScheme = machine.NullScheme
+)
+
+// NewMachine creates a machine running p under scheme.
+func NewMachine(p *Program, scheme Scheme, cfg MachineConfig) *Machine {
+	return machine.New(p, scheme, cfg)
+}
+
+// The DACCE encoder (the paper's contribution).
+type (
+	// Encoder is the dynamic and adaptive calling-context encoder.
+	Encoder = core.DACCE
+	// Options configures the encoder (id budget, indirect dispatch
+	// thresholds, adaptive triggers).
+	Options = core.Options
+	// Triggers are the adaptive re-encoding thresholds.
+	Triggers = core.Triggers
+	// Capture is a snapshot of a thread's encoded context.
+	Capture = core.Capture
+	// CCEntry is one saved entry on the ccStack.
+	CCEntry = core.CCEntry
+	// Context is a decoded calling context, root first.
+	Context = core.Context
+	// ContextFrame is one step of a decoded context.
+	ContextFrame = core.ContextFrame
+	// EncoderStats reports graph size, re-encoding count (gTS) and
+	// costs.
+	EncoderStats = core.Stats
+)
+
+// NewEncoder returns a DACCE encoder for p.
+func NewEncoder(p *Program, opt Options) *Encoder { return core.New(p, opt) }
+
+// ShadowContext converts machine shadow stacks into a Context, the
+// ground truth decodes are validated against.
+func ShadowContext(spawn, shadow []machine.Frame) Context {
+	return core.ShadowContext(spawn, shadow)
+}
+
+// Baselines evaluated against DACCE.
+type (
+	// PCCE is the static Precise Calling Context Encoding baseline.
+	PCCE = pcce.Scheme
+	// PCCEProfile is the offline edge-frequency profile PCCE consumes.
+	PCCEProfile = pcce.Profile
+	// PCCEOptions configures the PCCE baseline.
+	PCCEOptions = pcce.Options
+	// StackWalk is the walk-on-demand baseline.
+	StackWalk = stackwalk.Scheme
+	// CCT is the calling-context-tree baseline.
+	CCT = cct.Scheme
+	// PCC is the probabilistic-calling-context baseline.
+	PCC = pcc.Scheme
+)
+
+// NewPCCE builds the static PCCE encoding for p under a profile.
+func NewPCCE(p *Program, prof PCCEProfile, opt pcce.Options) *PCCE {
+	return pcce.New(p, prof, opt)
+}
+
+// NewStackWalk returns the stack-walking baseline.
+func NewStackWalk() *StackWalk { return stackwalk.New() }
+
+// Breadcrumbs is the hash-then-reconstruct baseline (Bond et al.).
+type Breadcrumbs = breadcrumbs.Scheme
+
+// NewBreadcrumbs returns the Breadcrumbs-style baseline for p.
+func NewBreadcrumbs(p *Program) *Breadcrumbs { return breadcrumbs.New(p) }
+
+// Trace recording and replay: capture a run's exact call event stream
+// and re-execute it under a different scheme.
+type (
+	// Trace is a recorded per-thread event stream.
+	Trace = trace.Trace
+	// TraceRecorder is a Scheme that records the event stream.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceRecorder returns a recording scheme.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// ReplayProgram builds a program that replays a recorded trace.
+func ReplayProgram(p *Program, tr *Trace) (*Program, error) {
+	return trace.ReplayProgram(p, tr)
+}
+
+// NewCCT returns the calling-context-tree baseline.
+func NewCCT() *CCT { return cct.New() }
+
+// NewPCC returns the probabilistic-calling-context baseline.
+func NewPCC() *PCC { return pcc.New() }
+
+// Calling-context profiling: aggregate decoded contexts into hot-path
+// rankings, context trees and run-to-run diffs (the paper's §1
+// performance-analysis application).
+type (
+	// CCProfile is an aggregated calling-context profile.
+	CCProfile = ccprof.Profile
+	// HotContext is one ranked profile entry.
+	HotContext = ccprof.HotContext
+	// CCDiffEntry is one context whose weight changed between runs.
+	CCDiffEntry = ccprof.DiffEntry
+)
+
+// NewCCProfile returns an empty context profile over p.
+func NewCCProfile(p *Program) *CCProfile { return ccprof.New(p) }
+
+// DiffCCProfiles ranks contexts by weight change between two profiles.
+func DiffCCProfiles(a, b *CCProfile) []CCDiffEntry { return ccprof.Diff(a, b) }
+
+// Synthetic benchmarks: the 41 SPEC CPU2006 / Parsec 2.1 workload
+// profiles calibrated from the paper's Table 1.
+type (
+	// Workload is a generated benchmark program with its driver.
+	Workload = workload.Workload
+	// WorkloadProfile parameterizes a synthetic benchmark.
+	WorkloadProfile = workload.Profile
+)
+
+// Benchmarks returns all 41 benchmark profiles in Table 1 order.
+func Benchmarks() []WorkloadProfile { return workload.Profiles() }
+
+// BenchmarkByName returns one benchmark profile.
+func BenchmarkByName(name string) (WorkloadProfile, bool) { return workload.ByName(name) }
+
+// BuildWorkload generates the program for a benchmark profile.
+func BuildWorkload(pr WorkloadProfile) (*Workload, error) { return workload.Build(pr) }

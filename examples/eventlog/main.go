@@ -1,0 +1,123 @@
+// eventlog shows the paper's event-logging motivation (§1, citing
+// execution fast-forwarding): a tool that logs context-sensitive events
+// can collapse the log dramatically when events are keyed by their
+// *encoded* calling context — one integer comparison — instead of
+// storing a stack walk per event. The replayer later decodes only the
+// few distinct contexts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dacce"
+)
+
+// event is one logged runtime event, tagged with an encoded context.
+type event struct {
+	kind string
+	ctx  *dacce.Capture
+}
+
+// ctxKey is the dedup key: the capture's fingerprint hashes the epoch,
+// id and every saved ccStack entry — no stack walking, no per-frame
+// hashing at event time.
+type ctxKey struct {
+	kind string
+	fp   uint64
+}
+
+func keyOf(e event) ctxKey {
+	return ctxKey{kind: e.kind, fp: e.ctx.Fingerprint()}
+}
+
+func main() {
+	b := dacce.NewBuilder()
+	mainF := b.Func("main")
+	handle := b.Func("handle_request")
+	auth := b.Func("auth")
+	query := b.Func("query_db")
+	render := b.Func("render")
+	lg := b.Func("log_io")
+
+	mH := b.CallSite(mainF, handle)
+	hA := b.CallSite(handle, auth)
+	hQ := b.CallSite(handle, query)
+	hR := b.CallSite(handle, render)
+	aL := b.CallSite(auth, lg)
+	qL := b.CallSite(query, lg)
+	rL := b.CallSite(render, lg)
+
+	var enc *dacce.Encoder
+	var events []event
+	emit := func(x dacce.Exec, kind string) {
+		events = append(events, event{kind: kind, ctx: enc.CaptureTyped(x.(*dacce.Thread))})
+	}
+
+	b.Body(mainF, func(x dacce.Exec) {
+		for i := 0; i < 5000; i++ {
+			x.Call(mH, dacce.NoFunc)
+		}
+	})
+	b.Body(handle, func(x dacce.Exec) {
+		x.Work(20)
+		x.Call(hA, dacce.NoFunc)
+		if x.Rand().Float64() < 0.7 {
+			x.Call(hQ, dacce.NoFunc)
+		}
+		x.Call(hR, dacce.NoFunc)
+	})
+	b.Body(auth, func(x dacce.Exec) { x.Work(10); x.Call(aL, dacce.NoFunc) })
+	b.Body(query, func(x dacce.Exec) { x.Work(30); x.Call(qL, dacce.NoFunc) })
+	b.Body(render, func(x dacce.Exec) { x.Work(15); x.Call(rL, dacce.NoFunc) })
+	b.Body(lg, func(x dacce.Exec) {
+		x.Work(5)
+		emit(x, "io")
+	})
+
+	p := b.MustBuild()
+	enc = dacce.NewEncoder(p, dacce.Options{})
+	m := dacce.NewMachine(p, enc, dacce.MachineConfig{Seed: 7})
+	rs, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deduplicate the log by (event kind, encoded context).
+	counts := map[ctxKey]int{}
+	rep := map[ctxKey]event{}
+	for _, e := range events {
+		k := keyOf(e)
+		counts[k]++
+		if _, ok := rep[k]; !ok {
+			rep[k] = e
+		}
+	}
+
+	fmt.Printf("logged %d events during %d calls (overhead %.2f%%)\n",
+		len(events), rs.C.Calls, 100*rs.Overhead())
+	fmt.Printf("distinct (event, context) classes: %d  → compression %.1fx\n\n",
+		len(counts), float64(len(events))/float64(len(counts)))
+
+	// Decode each class once; classes from different epochs may name the
+	// same call path (the encoding changed under them), so merge for
+	// display.
+	merged := map[string]int{}
+	for k, e := range rep {
+		ctx, err := enc.Decode(e.ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		merged[k.kind+"  "+ctx.Pretty(p)] += counts[k]
+	}
+	lines := make([]string, 0, len(merged))
+	for l := range merged {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return merged[lines[i]] > merged[lines[j]] })
+	fmt.Println("replay dictionary (decoded once per class, not per event):")
+	for _, l := range lines {
+		fmt.Printf("  %6d × %s\n", merged[l], l)
+	}
+}

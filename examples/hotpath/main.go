@@ -1,0 +1,83 @@
+// hotpath is an adaptive calling-context profiler: it samples encoded
+// contexts while a phase-changing workload runs, aggregates the hottest
+// call paths, and shows the encoder re-encoding itself as the hot paths
+// move (paper §4 and Fig. 9). Run it to watch gTS grow early and settle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dacce"
+)
+
+func main() {
+	// A synthetic SPEC-like benchmark with rotating hot paths.
+	pr, ok := dacce.BenchmarkByName("445.gobmk")
+	if !ok {
+		log.Fatal("unknown benchmark")
+	}
+	pr.TotalCalls = 300_000
+	w, err := dacce.BuildWorkload(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc := dacce.NewEncoder(w.P, dacce.Options{TrackProgress: true})
+	m := dacce.NewMachine(w.P, enc, dacce.MachineConfig{SampleEvery: 101, Seed: pr.Seed + 1})
+	rs, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate sampled contexts.
+	counts := map[string]int{}
+	pretty := map[string]string{}
+	decodeFailures := 0
+	for _, s := range rs.Samples {
+		ctx, err := enc.DecodeSample(s)
+		if err != nil {
+			decodeFailures++
+			continue
+		}
+		k := ctx.String()
+		counts[k]++
+		if _, ok := pretty[k]; !ok {
+			pretty[k] = ctx.Pretty(w.P)
+		}
+	}
+	if decodeFailures > 0 {
+		log.Fatalf("%d samples failed to decode", decodeFailures)
+	}
+
+	st := enc.Stats()
+	fmt.Printf("benchmark %s: %d calls, %d samples, %d distinct contexts\n",
+		pr.Name, rs.C.Calls, len(rs.Samples), len(counts))
+	fmt.Printf("dynamic call graph: %d nodes, %d edges, maxID %d\n", st.Nodes, st.Edges, st.MaxID)
+	fmt.Printf("re-encodings (gTS): %d, total cost %.0f us, overhead %.2f%%\n\n",
+		st.GTS, st.ReencodeCostMicros(), 100*rs.SteadyOverhead())
+
+	fmt.Println("re-encoding history (early churn, then steady state — Fig. 9):")
+	for _, h := range st.History {
+		fmt.Printf("  pass %2d at sample %5d: %4d nodes %5d edges maxID %d\n",
+			h.Epoch, h.AtSample, h.Nodes, h.Edges, h.MaxID)
+	}
+
+	type hot struct {
+		k string
+		n int
+	}
+	var hots []hot
+	for k, n := range counts {
+		hots = append(hots, hot{k, n})
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].n > hots[j].n })
+	fmt.Println("\nhottest calling contexts:")
+	for i, h := range hots {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %5.1f%%  %s\n", 100*float64(h.n)/float64(len(rs.Samples)), pretty[h.k])
+	}
+}

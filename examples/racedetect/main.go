@@ -1,0 +1,144 @@
+// racedetect shows the paper's §1 motivation: a dynamic data-race
+// detector that records the *calling context* of every shared-memory
+// access, cheaply, via DACCE context captures. When two threads touch
+// the same location without ordering and at least one writes, the
+// report shows the full call paths of both accesses — not just the two
+// program counters a context-insensitive detector would give.
+//
+// The "shared memory" is simulated: worker bodies announce accesses to
+// a tiny happens-before-free detector. What matters here is the cost
+// and precision of the context machinery, which is real.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"dacce"
+)
+
+// access is one recorded shared-memory access.
+type access struct {
+	addr   int
+	write  bool
+	thread int
+	ctx    *dacce.Capture
+}
+
+// detector collects accesses; it is deliberately simple — every pair of
+// unordered accesses from different threads with a write is a race.
+type detector struct {
+	mu       sync.Mutex
+	accesses map[int][]access
+}
+
+func (d *detector) record(addr int, write bool, th *dacce.Thread, enc *dacce.Encoder) {
+	a := access{addr: addr, write: write, thread: th.ID(), ctx: enc.CaptureTyped(th)}
+	d.mu.Lock()
+	d.accesses[addr] = append(d.accesses[addr], a)
+	d.mu.Unlock()
+}
+
+func main() {
+	b := dacce.NewBuilder()
+	mainF := b.Func("main")
+	worker := b.Func("worker")
+	b.ThreadRoot(worker)
+	produce := b.Func("produce")
+	consume := b.Func("consume")
+	update := b.Func("update_stats")
+
+	wProd := b.CallSite(worker, produce)
+	wCons := b.CallSite(worker, consume)
+	pUpd := b.CallSite(produce, update)
+	cUpd := b.CallSite(consume, update)
+
+	var enc *dacce.Encoder
+	det := &detector{accesses: make(map[int][]access)}
+
+	const slots = 4
+	b.Body(mainF, func(x dacce.Exec) {
+		for i := 0; i < 3; i++ {
+			x.Spawn(worker)
+		}
+	})
+	b.Body(worker, func(x dacce.Exec) {
+		for i := 0; i < 200; i++ {
+			x.Call(wProd, dacce.NoFunc)
+			x.Call(wCons, dacce.NoFunc)
+		}
+	})
+	b.Body(produce, func(x dacce.Exec) {
+		x.Work(40)
+		x.Call(pUpd, dacce.NoFunc)
+	})
+	b.Body(consume, func(x dacce.Exec) {
+		x.Work(40)
+		x.Call(cUpd, dacce.NoFunc)
+	})
+	b.Body(update, func(x dacce.Exec) {
+		x.Work(10)
+		th := x.(*dacce.Thread)
+		// Each thread hammers a shared statistics slot.
+		addr := int(x.CallCount()) % slots
+		det.record(addr, x.CallCount()%3 == 0, th, enc)
+	})
+
+	p := b.MustBuild()
+	enc = dacce.NewEncoder(p, dacce.Options{})
+	m := dacce.NewMachine(p, enc, dacce.MachineConfig{Seed: 42})
+	rs, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Report: one representative racing pair per address, with decoded
+	// contexts. Deduplicate by the pair of context encodings — the
+	// whole point of cheap precise contexts (paper §1).
+	type racePair struct{ a, b access }
+	var races []racePair
+	addrs := make([]int, 0, len(det.accesses))
+	for addr := range det.accesses {
+		addrs = append(addrs, addr)
+	}
+	sort.Ints(addrs)
+	for _, addr := range addrs {
+		accs := det.accesses[addr]
+		found := false
+		for i := 0; i < len(accs) && !found; i++ {
+			for j := i + 1; j < len(accs) && !found; j++ {
+				if accs[i].thread != accs[j].thread && (accs[i].write || accs[j].write) {
+					races = append(races, racePair{accs[i], accs[j]})
+					found = true
+				}
+			}
+		}
+	}
+
+	fmt.Printf("ran %d threads, %d calls, %d shared accesses recorded\n",
+		rs.Threads, rs.C.Calls, len(det.accesses[0])+len(det.accesses[1])+len(det.accesses[2])+len(det.accesses[3]))
+	fmt.Printf("context machinery overhead (cost model): %.2f%%\n\n", 100*rs.Overhead())
+
+	for _, r := range races {
+		ctxA, err := enc.Decode(r.a.ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctxB, err := enc.Decode(r.b.ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("RACE on slot %d:\n", r.a.addr)
+		fmt.Printf("  thread %d (%s): %s\n", r.a.thread, rw(r.a.write), ctxA.Pretty(p))
+		fmt.Printf("  thread %d (%s): %s\n", r.b.thread, rw(r.b.write), ctxB.Pretty(p))
+	}
+}
+
+func rw(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}

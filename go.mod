@@ -1,0 +1,3 @@
+module dacce
+
+go 1.23

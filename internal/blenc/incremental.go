@@ -1,0 +1,181 @@
+package blenc
+
+import (
+	"sort"
+
+	"dacce/internal/graph"
+	"dacce/internal/prog"
+)
+
+// Refresh computes the assignment after new edges were added, reusing
+// prev wherever possible: only nodes downstream of the additions are
+// renumbered, and every node keeps its previous in-edge order (new
+// edges are appended coldest-last), so unaffected codes are bit-equal
+// to prev's. This is the incremental counterpart of Encode — an
+// extension beyond the paper, whose whole-graph re-encoding cost grows
+// with the graph (Table 1 "costs"); an adaptive runtime can use Refresh
+// for the frequent new-edges trigger and reserve full re-encodes for
+// frequency reordering.
+//
+// Refresh falls back to a full Encode (and reports it) when the
+// additions change any back-edge classification — a new cycle
+// invalidates prev's structure — or when the budget is exceeded.
+//
+// The returned changed set lists the edges whose codes differ from
+// prev (including the new ones); the caller only needs to repatch
+// those sites.
+func Refresh(g *graph.Graph, prev *Assignment, added []*graph.Edge, opt Options) (a *Assignment, changed []graph.EdgeKey, full bool) {
+	budget := opt.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+
+	// Reclassify: cheap relative to renumbering, and required for
+	// soundness (a new edge can make an old edge a back edge).
+	g.ClassifyBackEdges()
+	for _, e := range g.Edges {
+		key := graph.EdgeKey{Site: e.Site, Target: e.Target}
+		if prevCode, ok := prev.Codes[key]; ok && prevCode.Back != e.Back {
+			return fullRefresh(g, prev, opt)
+		}
+	}
+	if prev.Overflowed {
+		// prev excluded cold edges; the exclusion set depends on global
+		// frequencies, so recompute fully.
+		return fullRefresh(g, prev, opt)
+	}
+
+	// Affected set: targets of added edges plus everything reachable
+	// from them through non-back edges.
+	affected := make(map[prog.FuncID]bool)
+	var stack []prog.FuncID
+	mark := func(fn prog.FuncID) {
+		if !affected[fn] {
+			affected[fn] = true
+			stack = append(stack, fn)
+		}
+	}
+	for _, e := range added {
+		if !e.Back {
+			mark(e.Target)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := g.Node(fn)
+		if n == nil {
+			continue
+		}
+		for _, e := range n.Out {
+			if !e.Back {
+				mark(e.Target)
+			}
+		}
+	}
+
+	a = &Assignment{
+		NumCC: make(map[prog.FuncID]uint64, len(prev.NumCC)+len(affected)),
+		Codes: make(map[graph.EdgeKey]Code, g.NumEdges()),
+	}
+	// Start from prev: unaffected nodes keep numCC; every current edge
+	// is present in the snapshot.
+	for fn, n := range prev.NumCC {
+		a.NumCC[fn] = n
+	}
+	for _, e := range g.Edges {
+		key := graph.EdgeKey{Site: e.Site, Target: e.Target}
+		if c, ok := prev.Codes[key]; ok {
+			a.Codes[key] = c
+		} else {
+			a.Codes[key] = Code{Back: e.Back}
+		}
+	}
+
+	// Renumber affected nodes in topological order, keeping prev's
+	// in-edge order and appending edges prev never saw.
+	for _, n := range g.TopoOrder() {
+		if !affected[n.Fn] {
+			if _, ok := a.NumCC[n.Fn]; !ok {
+				// Unaffected but also unknown to prev (isolated new
+				// node): every node carries at least one context.
+				a.NumCC[n.Fn] = 1
+			}
+			continue
+		}
+		ins := make([]*graph.Edge, 0, len(n.In))
+		for _, e := range n.In {
+			if !e.Back && (opt.Exclude == nil || !opt.Exclude(e)) {
+				ins = append(ins, e)
+			}
+		}
+		sort.SliceStable(ins, func(i, j int) bool {
+			ci, iOld := prev.Codes[graph.EdgeKey{Site: ins[i].Site, Target: ins[i].Target}]
+			cj, jOld := prev.Codes[graph.EdgeKey{Site: ins[j].Site, Target: ins[j].Target}]
+			iOld = iOld && ci.Encoded
+			jOld = jOld && cj.Encoded
+			switch {
+			case iOld && jOld:
+				return ci.Value < cj.Value // previous order
+			case iOld:
+				return true // old edges before new ones
+			case jOld:
+				return false
+			default:
+				return ins[i].Seq < ins[j].Seq
+			}
+		})
+		var acc uint64
+		for _, e := range ins {
+			key := graph.EdgeKey{Site: e.Site, Target: e.Target}
+			c := a.Codes[key]
+			c.Encoded = true
+			c.Value = acc
+			a.Codes[key] = c
+			var over bool
+			acc, over = satAdd(acc, a.NumCC[e.Caller])
+			if over {
+				return fullRefresh(g, prev, opt)
+			}
+		}
+		if acc == 0 {
+			acc = 1
+		}
+		a.NumCC[n.Fn] = acc
+	}
+
+	for _, n := range a.NumCC {
+		if n-1 > a.MaxID {
+			a.MaxID = n - 1
+		}
+	}
+	a.UnrestrictedMaxID = a.MaxID
+	if a.MaxID > budget {
+		return fullRefresh(g, prev, opt)
+	}
+	for _, c := range a.Codes {
+		if c.Encoded {
+			a.EncodedEdges++
+		}
+	}
+
+	// Changed set: differences against prev.
+	for key, c := range a.Codes {
+		pc, ok := prev.Codes[key]
+		if !ok || pc != c {
+			changed = append(changed, key)
+		}
+	}
+	return a, changed, false
+}
+
+// fullRefresh is the fallback: a complete Encode, with every edge
+// reported as changed.
+func fullRefresh(g *graph.Graph, prev *Assignment, opt Options) (*Assignment, []graph.EdgeKey, bool) {
+	a := Encode(g, opt)
+	changed := make([]graph.EdgeKey, 0, len(a.Codes))
+	for key := range a.Codes {
+		changed = append(changed, key)
+	}
+	return a, changed, true
+}

@@ -1,0 +1,192 @@
+// Package breadcrumbs implements the reconstruction-based baseline the
+// paper cites as [5] (Bond, Baker, Guyer — "Breadcrumbs", PLDI '10):
+// the runtime maintains only the probabilistic-calling-context hash
+// V ← 3·V + cs (essentially free), and an offline analysis tries to
+// invert captured values by searching the *static* call graph for call
+// paths whose hash matches. Reconstruction can be ambiguous or fail —
+// exactly the weakness the paper contrasts precise encodings against
+// ("this may cause reconstruction to fail. On average, the runtime
+// overhead is 10% to 20%", §7).
+//
+// The search walks backwards: a value V at function f was produced from
+// some in-edge with site s iff V ≡ s+1 (mod 3) has a consistent
+// predecessor value (V-(s+1))/3; candidates multiply at every step, so
+// the searcher bounds its work and reports ambiguity.
+package breadcrumbs
+
+import (
+	"fmt"
+
+	"dacce/internal/core"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Value is the hashed context identifier (same chain as package pcc).
+type Value uint64
+
+// Capture pairs the value with the function it was taken in — the
+// minimum a Breadcrumbs-style tool records per sample.
+type Capture struct {
+	V  Value
+	Fn prog.FuncID
+}
+
+// tls is the per-thread hash state.
+type tls struct{ v Value }
+
+// Scheme is the Breadcrumbs-style baseline.
+type Scheme struct {
+	p *prog.Program
+	g *graph.Graph // static call graph for reconstruction
+}
+
+// New builds the scheme; the static graph is assembled from the
+// program's declared structure, as an offline analysis would.
+func New(p *prog.Program) *Scheme {
+	s := &Scheme{p: p, g: graph.New(p)}
+	for _, r := range p.ThreadRoots {
+		s.g.AddRoot(r)
+	}
+	for _, site := range p.Sites {
+		switch site.Kind {
+		case prog.Normal, prog.Tail:
+			s.g.AddEdge(site.ID, site.Target)
+		case prog.PLT:
+			s.g.AddEdge(site.ID, p.PLT[site.ID])
+		case prog.Indirect, prog.TailIndirect:
+			for _, t := range site.Declared {
+				s.g.AddEdge(site.ID, t)
+			}
+		}
+	}
+	return s
+}
+
+// Name implements machine.Scheme.
+func (*Scheme) Name() string { return "breadcrumbs" }
+
+// Install implements machine.Scheme.
+func (s *Scheme) Install(m *machine.Machine) {
+	st := &stub{}
+	for i := 0; i < s.p.NumSites(); i++ {
+		m.SetStub(prog.SiteID(i), st)
+	}
+}
+
+// ThreadStart implements machine.Scheme.
+func (s *Scheme) ThreadStart(t, parent *machine.Thread) {
+	state := &tls{}
+	if parent != nil {
+		state.v = parent.State.(*tls).v
+	}
+	t.State = state
+}
+
+// ThreadExit implements machine.Scheme.
+func (*Scheme) ThreadExit(t *machine.Thread) {}
+
+// Capture implements machine.Scheme.
+func (s *Scheme) Capture(t *machine.Thread) any {
+	return Capture{V: t.State.(*tls).v, Fn: t.SelfID()}
+}
+
+// Result is a reconstruction outcome.
+type Result struct {
+	// Contexts holds every call path whose hash matches; exactly one
+	// means unambiguous success.
+	Contexts []core.Context
+	// Truncated reports that the search hit its work bound, so more
+	// matches may exist.
+	Truncated bool
+}
+
+// DefaultSearchBudget bounds reconstruction work (search tree nodes).
+const DefaultSearchBudget = 1 << 16
+
+// maxMatches bounds how many matching paths are materialized.
+const maxMatches = 8
+
+// Reconstruct inverts a capture against the static call graph. root is
+// the thread entry the path must start at (prog.Program.Entry for the
+// initial thread).
+func (s *Scheme) Reconstruct(c Capture, root prog.FuncID, budget int) Result {
+	if budget <= 0 {
+		budget = DefaultSearchBudget
+	}
+	res := Result{}
+	var rev []core.ContextFrame
+	var dfs func(fn prog.FuncID, v Value, depth int)
+	work := 0
+	dfs = func(fn prog.FuncID, v Value, depth int) {
+		if work++; work > budget {
+			res.Truncated = true
+			return
+		}
+		if len(res.Contexts) >= maxMatches {
+			res.Truncated = true
+			return
+		}
+		if v == 0 && fn == root {
+			ctx := make(core.Context, 0, len(rev)+1)
+			ctx = append(ctx, core.ContextFrame{Site: prog.NoSite, Fn: root})
+			for i := len(rev) - 1; i >= 0; i-- {
+				ctx = append(ctx, rev[i])
+			}
+			res.Contexts = append(res.Contexts, ctx)
+			// Keep searching: other paths may hash identically.
+		}
+		if depth > 512 {
+			return
+		}
+		n := s.g.Node(fn)
+		if n == nil {
+			return
+		}
+		for _, e := range n.In {
+			step := Value(e.Site) + 1
+			if v < step || (v-step)%3 != 0 {
+				continue
+			}
+			rev = append(rev, core.ContextFrame{Site: e.Site, Fn: fn})
+			dfs(e.Caller, (v-step)/3, depth+1)
+			rev = rev[:len(rev)-1]
+		}
+	}
+	dfs(c.Fn, c.V, 0)
+	return res
+}
+
+// stub updates the hash around every call; tail calls never restore
+// (drift adds noise, as in the real system).
+type stub struct{}
+
+func (st *stub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	state := t.State.(*tls)
+	t.C.InstrCost += machine.CostPCCHash
+	prev := state.v
+	state.v = 3*state.v + Value(site.ID) + 1
+	return machine.Cookie{A: uint64(prev)}, st
+}
+
+func (st *stub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	state := t.State.(*tls)
+	state.v = Value(c.A)
+}
+
+// Describe renders a result for reports.
+func (r Result) Describe() string {
+	switch {
+	case len(r.Contexts) == 1 && !r.Truncated:
+		return "unique"
+	case len(r.Contexts) == 1:
+		return "unique-but-truncated"
+	case len(r.Contexts) > 1:
+		return fmt.Sprintf("ambiguous(%d)", len(r.Contexts))
+	case r.Truncated:
+		return "failed(budget)"
+	default:
+		return "failed"
+	}
+}

@@ -1,0 +1,216 @@
+package ccprof
+
+import (
+	"strings"
+	"testing"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/workload"
+)
+
+// tiny builds main→{a,b}, a→c and returns contexts for testing.
+func tiny(t *testing.T) (*prog.Program, core.Context, core.Context, core.Context) {
+	t.Helper()
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	a := b.Func("a")
+	bb := b.Func("b")
+	c := b.Func("c")
+	sa := b.CallSite(mainF, a)
+	sb := b.CallSite(mainF, bb)
+	sc := b.CallSite(a, c)
+	p := b.MustBuild()
+	ctxA := core.Context{{Site: prog.NoSite, Fn: mainF}, {Site: sa, Fn: a}}
+	ctxB := core.Context{{Site: prog.NoSite, Fn: mainF}, {Site: sb, Fn: bb}}
+	ctxC := core.Context{{Site: prog.NoSite, Fn: mainF}, {Site: sa, Fn: a}, {Site: sc, Fn: c}}
+	return p, ctxA, ctxB, ctxC
+}
+
+func TestAddAndHot(t *testing.T) {
+	p, ctxA, ctxB, ctxC := tiny(t)
+	pr := New(p)
+	for i := 0; i < 6; i++ {
+		if err := pr.Add(ctxA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		pr.Add(ctxB)
+	}
+	pr.Add(ctxC)
+	if pr.Total() != 10 {
+		t.Fatalf("total = %d", pr.Total())
+	}
+	if pr.NumContexts() != 3 {
+		t.Fatalf("distinct contexts = %d, want 3", pr.NumContexts())
+	}
+	hot := pr.Hot(2)
+	if len(hot) != 2 {
+		t.Fatalf("hot = %d entries", len(hot))
+	}
+	if !hot[0].Context.Equal(ctxA) || hot[0].Count != 6 || hot[0].Frac != 0.6 {
+		t.Errorf("hot[0] = %+v", hot[0])
+	}
+	if !hot[1].Context.Equal(ctxB) || hot[1].Count != 3 {
+		t.Errorf("hot[1] = %+v", hot[1])
+	}
+}
+
+func TestInclusiveExclusive(t *testing.T) {
+	p, ctxA, _, ctxC := tiny(t)
+	pr := New(p)
+	pr.Add(ctxA)
+	pr.Add(ctxC)
+	// Node a: one exclusive (ctxA), two inclusive (ctxA + ctxC).
+	var aNode *Node
+	pr.walk(func(n *Node) {
+		if n.Fn == ctxA[1].Fn && n.Parent != nil && n.Parent.Fn == p.Entry {
+			aNode = n
+		}
+	})
+	if aNode == nil {
+		t.Fatal("node a missing")
+	}
+	if aNode.Exclusive != 1 || aNode.Inclusive != 2 {
+		t.Errorf("a: excl=%d incl=%d, want 1/2", aNode.Exclusive, aNode.Inclusive)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	p, ctxA, ctxB, _ := tiny(t)
+	pr := New(p)
+	pr.Add(ctxA)
+	pr.Add(ctxA)
+	pr.Add(ctxB)
+	var sb strings.Builder
+	if err := pr.WriteTree(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"main", "a", "b", "66.67% incl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Hotter child listed first.
+	if strings.Index(out, "a ") > strings.Index(out, "b ") {
+		t.Errorf("children not hottest-first:\n%s", out)
+	}
+}
+
+func TestWriteTreeEmpty(t *testing.T) {
+	p, _, _, _ := tiny(t)
+	var sb strings.Builder
+	if err := New(p).WriteTree(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty profile rendering: %q", sb.String())
+	}
+}
+
+func TestAddRejectsEmpty(t *testing.T) {
+	p, _, _, _ := tiny(t)
+	if err := New(p).Add(nil); err == nil {
+		t.Error("empty context accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	p, ctxA, ctxB, ctxC := tiny(t)
+	a := New(p)
+	for i := 0; i < 8; i++ {
+		a.Add(ctxA)
+	}
+	for i := 0; i < 2; i++ {
+		a.Add(ctxB)
+	}
+	b := New(p)
+	for i := 0; i < 2; i++ {
+		b.Add(ctxA)
+	}
+	for i := 0; i < 6; i++ {
+		b.Add(ctxB)
+	}
+	for i := 0; i < 2; i++ {
+		b.Add(ctxC)
+	}
+	d := Diff(a, b)
+	if len(d) != 3 {
+		t.Fatalf("diff has %d entries, want 3", len(d))
+	}
+	// ctxA went 0.8 → 0.2 (−0.6) and ctxB 0.2 → 0.6 (+0.4): A first.
+	if !d[0].Context.Equal(ctxA) || d[0].Delta > -0.59 {
+		t.Errorf("d[0] = %+v", d[0])
+	}
+	if !d[1].Context.Equal(ctxB) || d[1].Delta < 0.39 {
+		t.Errorf("d[1] = %+v", d[1])
+	}
+	// ctxC is new in B.
+	if !d[2].Context.Equal(ctxC) || d[2].FracA != 0 || d[2].FracB != 0.2 {
+		t.Errorf("d[2] = %+v", d[2])
+	}
+}
+
+// TestProfileFromRealRun aggregates a DACCE run's samples end to end.
+func TestProfileFromRealRun(t *testing.T) {
+	wpr, _ := workload.ByName("456.hmmer")
+	wpr.TotalCalls = 30_000
+	w := workload.MustBuild(wpr)
+	d := core.New(w.P, core.Options{})
+	m := w.NewMachine(d, machine.Config{SampleEvery: 17})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := New(w.P)
+	for _, s := range rs.Samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.Add(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Total() != int64(len(rs.Samples)) {
+		t.Fatalf("profile total %d != samples %d", pr.Total(), len(rs.Samples))
+	}
+	hot := pr.Hot(5)
+	if len(hot) == 0 {
+		t.Fatal("no hot contexts")
+	}
+	var sum float64
+	for _, h := range hot {
+		sum += h.Frac
+	}
+	if sum <= 0 || sum > 1 {
+		t.Errorf("hot fractions sum to %v", sum)
+	}
+	var sb strings.Builder
+	if err := pr.WriteTree(&sb, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "main") {
+		t.Error("tree missing main")
+	}
+}
+
+// TestMultiRootProfile holds several threads' contexts in one profile.
+func TestMultiRootProfile(t *testing.T) {
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	worker := b.Func("worker")
+	p := b.MustBuild()
+	pr := New(p)
+	pr.Add(core.Context{{Site: prog.NoSite, Fn: mainF}})
+	pr.Add(core.Context{{Site: prog.NoSite, Fn: worker}})
+	if pr.Total() != 2 {
+		t.Fatalf("total %d", pr.Total())
+	}
+	if pr.NumContexts() != 2 {
+		t.Errorf("distinct %d, want 2 (main and worker roots)", pr.NumContexts())
+	}
+}

@@ -1,0 +1,134 @@
+// Package cct implements the calling-context-tree baseline (Ammons,
+// Ball, Larus — the approach the paper cites as adding "a factor of 2
+// to 4 to program execution time", §7). Every call moves a per-thread
+// cursor to the child node for its call site, creating it on first
+// visit; every return restores the cursor. A context capture is just
+// the cursor, and decoding walks parent pointers.
+//
+// Tail calls expose the approach's weakness under binary-level
+// semantics: the jmp has no return, so the cursor is only repaired when
+// the enclosing non-tail call returns. Captures taken in the caller
+// after a tail-called callee returned are attributed to the tail path
+// until then. The tests pin this behaviour; the encoding schemes exist
+// precisely to avoid this class of problem (paper §5.2).
+package cct
+
+import (
+	"fmt"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Node is one calling-context-tree node.
+type Node struct {
+	Site   prog.SiteID
+	Fn     prog.FuncID
+	Parent *Node
+	kids   map[nodeKey]*Node
+	// Count is the number of times this exact context was entered.
+	Count int64
+}
+
+type nodeKey struct {
+	site prog.SiteID
+	fn   prog.FuncID
+}
+
+// tls is the per-thread tree and cursor. saved parallels the non-tail
+// call frames: each prologue pushes the pre-call node, each epilogue
+// restores from it (tail calls push nothing — they get no epilogue).
+type tls struct {
+	root  *Node
+	cur   *Node
+	saved []*Node
+}
+
+// Scheme is the CCT baseline.
+type Scheme struct {
+	threads []*tls
+}
+
+// New returns a CCT scheme.
+func New() *Scheme { return &Scheme{} }
+
+// Name implements machine.Scheme.
+func (*Scheme) Name() string { return "cct" }
+
+// Install implements machine.Scheme: every site is instrumented with
+// the cursor-moving stub.
+func (s *Scheme) Install(m *machine.Machine) {
+	st := &stub{s: s}
+	for i := 0; i < m.Program().NumSites(); i++ {
+		m.SetStub(prog.SiteID(i), st)
+	}
+}
+
+// ThreadStart implements machine.Scheme.
+func (s *Scheme) ThreadStart(t, parent *machine.Thread) {
+	root := &Node{Site: prog.NoSite, Fn: t.Entry(), Count: 1}
+	t.State = &tls{root: root, cur: root}
+	if parent != nil {
+		t.SpawnCapture = s.Capture(parent)
+	}
+}
+
+// ThreadExit implements machine.Scheme.
+func (*Scheme) ThreadExit(t *machine.Thread) {}
+
+// Capture implements machine.Scheme: the current tree node.
+func (s *Scheme) Capture(t *machine.Thread) any {
+	return t.State.(*tls).cur
+}
+
+// Decode walks the node's parent chain to the thread root.
+func (*Scheme) Decode(capture any) (core.Context, error) {
+	n, ok := capture.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("cct: capture is not a tree node")
+	}
+	var rev core.Context
+	for ; n != nil; n = n.Parent {
+		rev = append(rev, core.ContextFrame{Site: n.Site, Fn: n.Fn})
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// stub moves the cursor down on call and restores it on return. It
+// must restore to the exact pre-call node — after tail drift the
+// callee's subtree may have moved the cursor arbitrarily — so the
+// prologue saves the node on the per-thread saved stack rather than
+// walking parent pointers.
+type stub struct{ s *Scheme }
+
+func (st *stub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	state := t.State.(*tls)
+	t.C.InstrCost += machine.CostCCTStep
+	key := nodeKey{site: site.ID, fn: target}
+	child := state.cur.kids[key]
+	if child == nil {
+		child = &Node{Site: site.ID, Fn: target, Parent: state.cur}
+		if state.cur.kids == nil {
+			state.cur.kids = make(map[nodeKey]*Node)
+		}
+		state.cur.kids[key] = child
+	}
+	child.Count++
+	if !site.Kind.IsTail() {
+		state.saved = append(state.saved, state.cur)
+	}
+	state.cur = child
+	return machine.Cookie{}, st
+}
+
+func (st *stub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	state := t.State.(*tls)
+	t.C.InstrCost += machine.CostCCTStep
+	n := len(state.saved)
+	state.cur = state.saved[n-1]
+	state.saved = state.saved[:n-1]
+}

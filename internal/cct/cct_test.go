@@ -1,0 +1,116 @@
+package cct
+
+import (
+	"testing"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/progtest"
+)
+
+func runWithSamples(t *testing.T, p *prog.Program, root []progtest.Call) (*Scheme, *machine.RunStats) {
+	t.Helper()
+	sc := progtest.NewScript(p)
+	sc.Root = root
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	s := New()
+	m := machine.New(p, s, machine.Config{SampleEvery: 1})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rs
+}
+
+func TestCCTTracksContexts(t *testing.T) {
+	fx, b := progtest.Fig1()
+	p := b.MustBuild()
+	fx.P = p
+	root := []progtest.Call{
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"), progtest.By(fx.S("DE")))),
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"), progtest.By(fx.S("DF")))),
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"), progtest.By(fx.S("DE")))),
+	}
+	s, rs := runWithSamples(t, p, root)
+	for _, sm := range rs.Samples {
+		ctx, err := s.Decode(sm.Capture)
+		if err != nil {
+			t.Fatalf("sample %d: %v", sm.Seq, err)
+		}
+		want := core.ShadowContext(nil, sm.Shadow)
+		if !ctx.Equal(want) {
+			t.Errorf("sample %d: got %v want %v", sm.Seq, ctx, want)
+		}
+	}
+	if rs.C.InstrCost == 0 {
+		t.Error("CCT charged no cost")
+	}
+}
+
+func TestCCTNodeCountsAndReuse(t *testing.T) {
+	fx, b := progtest.Fig1()
+	p := b.MustBuild()
+	fx.P = p
+	root := []progtest.Call{
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"))),
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"))),
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"))),
+	}
+	s, rs := runWithSamples(t, p, root)
+	// Samples are taken at call sites, so the deepest sampled node is
+	// the caller B. The same context must map to the same node (visit
+	// counts accumulate rather than new nodes appearing).
+	var bNode *Node
+	for _, sm := range rs.Samples {
+		n := sm.Capture.(*Node)
+		if n.Fn == fx.F("B") {
+			if bNode == nil {
+				bNode = n
+			} else if bNode != n {
+				t.Fatal("same context produced two CCT nodes")
+			}
+		}
+	}
+	if bNode == nil {
+		t.Fatal("context AB never sampled")
+	}
+	if bNode.Count != 2 {
+		t.Errorf("AB entered %d times, want 2", bNode.Count)
+	}
+	if bNode.Parent == nil || bNode.Parent.Fn != fx.F("A") {
+		t.Errorf("B's parent = %v, want A", bNode.Parent)
+	}
+	_ = s
+}
+
+func TestCCTTailDrift(t *testing.T) {
+	// Under binary-level tail semantics the cursor is only repaired at
+	// the enclosing return; this test pins that documented behaviour.
+	fx, b := progtest.Fig7()
+	p := b.MustBuild()
+	fx.P = p
+	var after *Node
+	s := New()
+	sc := progtest.NewScript(p)
+	sc.Root = []progtest.Call{
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"))), // C tail-calls D
+		{Site: fx.S("AB"), Target: prog.NoFunc, Hook: func(x prog.Exec) {
+			after = x.(*machine.Thread).State.(*tls).cur
+		}},
+	}
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	m := machine.New(p, s, machine.Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After AC returned, the cursor was restored by A's saved node, so
+	// the next call (AB) correctly hangs off main→...→B.
+	if after == nil || after.Fn != fx.F("B") {
+		t.Fatalf("cursor after tail-returning call = %v, want node B", after)
+	}
+}

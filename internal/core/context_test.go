@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dacce/internal/prog"
+)
+
+func TestContextRendering(t *testing.T) {
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	f := b.Func("frob")
+	s := b.CallSite(mainF, f)
+	p := b.MustBuild()
+
+	ctx := Context{{Site: prog.NoSite, Fn: mainF}, {Site: s, Fn: f}}
+	if got := ctx.String(); got != "f0→f1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := ctx.Pretty(p); got != "main → frob" {
+		t.Errorf("Pretty = %q", got)
+	}
+	fns := ctx.Funcs()
+	if len(fns) != 2 || fns[0] != mainF || fns[1] != f {
+		t.Errorf("Funcs = %v", fns)
+	}
+}
+
+func TestContextEqual(t *testing.T) {
+	a := Context{{Site: prog.NoSite, Fn: 0}, {Site: 1, Fn: 2}}
+	b := Context{{Site: prog.NoSite, Fn: 0}, {Site: 1, Fn: 2}}
+	c := Context{{Site: prog.NoSite, Fn: 0}, {Site: 2, Fn: 2}}
+	if !a.Equal(b) {
+		t.Error("equal contexts not equal")
+	}
+	if a.Equal(c) || a.Equal(a[:1]) {
+		t.Error("different contexts reported equal")
+	}
+}
+
+func TestCCEntryString(t *testing.T) {
+	plain := CCEntry{ID: 3, Site: 1, Target: 2}
+	if got := plain.String(); got != "<3,s1,f2>" {
+		t.Errorf("plain entry = %q", got)
+	}
+	rec := CCEntry{ID: 3, Site: 1, Target: 2, Count: 7, Rec: true}
+	if got := rec.String(); !strings.Contains(got, "#7") {
+		t.Errorf("recursive entry = %q, want count shown", got)
+	}
+}
+
+func TestCaptureOnStack(t *testing.T) {
+	c := &Capture{ID: 5}
+	if c.OnStack(5) {
+		t.Error("id == maxID reported on-stack")
+	}
+	if !c.OnStack(4) {
+		t.Error("id > maxID not reported on-stack")
+	}
+}
+
+func TestCaptureString(t *testing.T) {
+	c := &Capture{Epoch: 2, ID: 9, Fn: 3, CC: []CCEntry{{ID: 1, Site: 0, Target: 3}}}
+	s := c.String()
+	for _, want := range []string{"ts=2", "id=9", "fn=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("capture string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDictBounds(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Func("main")
+	p := b.MustBuild()
+	d := New(p, Options{})
+	if d.Dict(0) == nil {
+		t.Error("epoch 0 dictionary missing at construction")
+	}
+	if d.Dict(99) != nil {
+		t.Error("future epoch returned a dictionary")
+	}
+	if d.Epoch() != 0 {
+		t.Errorf("fresh epoch = %d", d.Epoch())
+	}
+}

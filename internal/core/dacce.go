@@ -1,0 +1,343 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dacce/internal/blenc"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Triggers configures the adaptive controller (paper §4): re-encoding
+// runs when the number of newly identified edges reaches a threshold,
+// when frequently invoked call paths are not encoded, or when the
+// ccStack is accessed too often. Zero values take the defaults.
+type Triggers struct {
+	// NewEdges re-encodes after this many newly discovered edges.
+	NewEdges int
+	// UnencodedCalls re-encodes after this many invocations of
+	// unencoded edges since the last pass (hot paths not encoded).
+	UnencodedCalls int64
+	// CCOps re-encodes after this many ccStack operations since the
+	// last pass.
+	CCOps int64
+	// HotMissSamples re-encodes after this many samples whose id was in
+	// the marker range (context saved on the ccStack).
+	HotMissSamples int64
+}
+
+// Default trigger thresholds.
+const (
+	DefaultNewEdges       = 24
+	DefaultUnencodedCalls = 1 << 11
+	DefaultCCOps          = 1 << 12
+	DefaultHotMiss        = 32
+)
+
+func (tr *Triggers) fill() {
+	if tr.NewEdges == 0 {
+		tr.NewEdges = DefaultNewEdges
+	}
+	if tr.UnencodedCalls == 0 {
+		tr.UnencodedCalls = DefaultUnencodedCalls
+	}
+	if tr.CCOps == 0 {
+		tr.CCOps = DefaultCCOps
+	}
+	if tr.HotMissSamples == 0 {
+		tr.HotMissSamples = DefaultHotMiss
+	}
+}
+
+// Options configures a DACCE instance.
+type Options struct {
+	// Budget caps the maximum context id (default blenc.DefaultBudget).
+	Budget uint64
+	// InlineThreshold is the largest number of identified indirect
+	// targets dispatched by an inline compare chain (Fig. 3d); above
+	// it, the one-probe hash table of Fig. 4 is generated.
+	InlineThreshold int
+	// CompressMinPushes enables recursion compression on a back edge
+	// once it has caused this many ccStack pushes (paper §4: "if they
+	// are highly repetitive, adjust the encoding algorithm on recursive
+	// calls").
+	CompressMinPushes int64
+	// Trig holds the adaptive-controller thresholds.
+	Trig Triggers
+	// NoHotFirst disables the hottest-edge-gets-code-0 ordering during
+	// re-encoding (ablation of the §4 adaptive-ordering optimization).
+	NoHotFirst bool
+	// MaxReencodes caps the number of adaptive passes; after the cap,
+	// newly discovered edges stay on the ccStack forever. 0 means
+	// unlimited. (Ablation: "dynamic but not adaptive".)
+	MaxReencodes int
+	// Incremental renumbers only the subgraph affected by newly
+	// discovered edges when the new-edges trigger fires, keeping every
+	// unaffected code identical (extension beyond the paper: the
+	// whole-graph re-encoding cost of Table 1's "costs" column shrinks
+	// to the changed region). Passes fired by the hot-path or ccStack
+	// triggers still re-encode fully, so frequency reordering keeps
+	// happening.
+	Incremental bool
+	// TrackProgress records a Fig. 9-style progress point every
+	// ProgressEvery samples.
+	TrackProgress bool
+	// ProgressEvery is the progress sampling stride (default 16).
+	ProgressEvery int64
+}
+
+// DefaultInlineThreshold matches the paper's "small number of indirect
+// targets" regime.
+const DefaultInlineThreshold = 4
+
+// DefaultCompressMinPushes is the default repetitiveness threshold for
+// enabling recursion compression.
+const DefaultCompressMinPushes = 128
+
+// DACCE is the dynamic and adaptive calling-context encoder. Create it
+// with New, pass it to machine.New as the Scheme, and decode captures
+// with Decode after (or during) the run.
+type DACCE struct {
+	opt Options
+
+	m *machine.Machine
+	p *prog.Program
+
+	// epi is the shared epilogue stub; all frame epilogues dispatch on
+	// their cookie's tag.
+	epi *epiStub
+	// trap is the shared initial stub (runtime-handler trap).
+	trap *trapStub
+
+	// mu guards the graph, dictionaries, stub rebuilding and the
+	// discovery state below. Stubs on the fast path never take it.
+	mu    sync.Mutex
+	g     *graph.Graph
+	dicts []*blenc.Assignment // decode dictionary per epoch (Fig. 6)
+	epoch atomic.Uint32
+	maxID uint64 // current epoch's maxID (baked into stubs)
+
+	tailContaining map[prog.FuncID]bool
+	compress       map[graph.EdgeKey]bool // back edges with compression on
+	pendingNew     []*graph.Edge          // edges discovered since the last pass
+
+	// Adaptive-trigger counters, reset at each re-encoding. backoff
+	// scales the traffic-driven thresholds up after every pass, so
+	// re-encoding is frequent during warm-up and rare at steady state
+	// (the behaviour Fig. 9 shows).
+	backoff     uint
+	newEdges    int
+	unencCalls  atomic.Int64
+	ccOps       atomic.Int64
+	hotMiss     atomic.Int64
+	samplesSeen atomic.Int64
+
+	stats Stats
+}
+
+// New returns a DACCE scheme for program p.
+func New(p *prog.Program, opt Options) *DACCE {
+	if opt.Budget == 0 {
+		opt.Budget = blenc.DefaultBudget
+	}
+	if opt.InlineThreshold == 0 {
+		opt.InlineThreshold = DefaultInlineThreshold
+	}
+	if opt.CompressMinPushes == 0 {
+		opt.CompressMinPushes = DefaultCompressMinPushes
+	}
+	if opt.ProgressEvery == 0 {
+		opt.ProgressEvery = 16
+	}
+	opt.Trig.fill()
+	d := &DACCE{
+		opt:            opt,
+		p:              p,
+		g:              graph.New(p),
+		tailContaining: make(map[prog.FuncID]bool),
+		compress:       make(map[graph.EdgeKey]bool),
+	}
+	d.epi = &epiStub{d: d}
+	d.trap = &trapStub{d: d}
+	// Epoch 0: the graph contains only main; encode it so maxID and the
+	// first decode dictionary exist before the first call (paper §3:
+	// "starts with a call graph containing only function main").
+	asn := blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
+	d.dicts = append(d.dicts, asn)
+	d.maxID = asn.MaxID
+	return d
+}
+
+// Name implements machine.Scheme.
+func (d *DACCE) Name() string { return "dacce" }
+
+// Graph returns the dynamic call graph (stable after the run ends).
+func (d *DACCE) Graph() *graph.Graph { return d.g }
+
+// Epoch returns the current gTimeStamp.
+func (d *DACCE) Epoch() uint32 { return d.epoch.Load() }
+
+// MaxID returns the current epoch's maximum context id.
+func (d *DACCE) MaxID() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxID
+}
+
+// Dict returns the decode dictionary for an epoch, or nil.
+func (d *DACCE) Dict(epoch uint32) *blenc.Assignment {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(epoch) >= len(d.dicts) {
+		return nil
+	}
+	return d.dicts[epoch]
+}
+
+// Install implements machine.Scheme: every call site starts as a
+// runtime-handler trap (paper §3: "all function calls ... are replaced
+// with instrumentations to invoke a runtime handler").
+func (d *DACCE) Install(m *machine.Machine) {
+	d.m = m
+	for i := 0; i < d.p.NumSites(); i++ {
+		m.SetStub(prog.SiteID(i), d.trap)
+	}
+}
+
+// ThreadStart implements machine.Scheme: allocate the TLS (paper §5.3)
+// and record the spawning context so the new thread's full calling
+// context stays decodable.
+func (d *DACCE) ThreadStart(t, parent *machine.Thread) {
+	t.State = &tls{}
+	if parent != nil {
+		t.SpawnCapture = d.Capture(parent)
+		d.mu.Lock()
+		d.g.AddRoot(t.Entry())
+		d.mu.Unlock()
+	}
+}
+
+// ThreadExit implements machine.Scheme.
+func (d *DACCE) ThreadExit(t *machine.Thread) {}
+
+// Capture implements machine.Scheme: snapshot (gTimeStamp, id, function,
+// ccStack).
+func (d *DACCE) Capture(t *machine.Thread) any {
+	st := t.State.(*tls)
+	c := &Capture{
+		Epoch: d.epoch.Load(),
+		ID:    st.id,
+		Fn:    t.SelfID(),
+		Root:  t.Entry(),
+		CC:    append([]CCEntry(nil), st.cc...),
+	}
+	if sc, ok := t.SpawnCapture.(*Capture); ok {
+		c.Spawn = sc
+	}
+	t.C.CCDepthSum += int64(len(st.cc))
+	t.C.CCDepthN++
+	return c
+}
+
+// CaptureTyped is Capture with a concrete result type, for direct API
+// use.
+func (d *DACCE) CaptureTyped(t *machine.Thread) *Capture {
+	return d.Capture(t).(*Capture)
+}
+
+// OnSample implements machine.SampleObserver: the adaptive controller's
+// input (paper §4 — collected contexts are decoded to find hot edges
+// and to detect that hot paths are unencoded).
+func (d *DACCE) OnSample(t *machine.Thread, capture any) {
+	c, ok := capture.(*Capture)
+	if !ok || c == nil {
+		return
+	}
+	n := d.samplesSeen.Add(1)
+
+	d.mu.Lock()
+	over := c.ID > d.maxID
+	// Estimate edge heat from the decoded sample so that even
+	// instrumentation-free (code 0) edges get frequency credit.
+	dec := Decoder{P: d.p, G: d.g, Dicts: d.dicts}
+	if ctx, err := dec.decodeLocked(c, false); err == nil {
+		for i := 1; i < len(ctx); i++ {
+			if e := d.g.Edge(ctx[i].Site, ctx[i].Fn); e != nil {
+				atomic.AddInt64(&e.Freq, 1)
+			}
+		}
+		t.C.InstrCost += machine.CostSampleDecode
+	}
+	if d.opt.TrackProgress && n%d.opt.ProgressEvery == 0 {
+		d.stats.Progress = append(d.stats.Progress, ProgressPoint{
+			Sample: n,
+			Nodes:  d.g.NumNodes(),
+			Edges:  d.g.NumEdges(),
+			MaxID:  d.maxID,
+			Epoch:  d.epoch.Load(),
+		})
+	}
+	d.mu.Unlock()
+
+	if over && d.hotMiss.Add(1) >= d.opt.Trig.HotMissSamples {
+		d.reencode(t)
+		return
+	}
+	if d.shouldReencode() {
+		d.reencode(t)
+	}
+}
+
+// Maintain implements machine.Maintainer: the runtime checks the
+// adaptive triggers periodically even when no handler traps and no
+// sampling happen.
+func (d *DACCE) Maintain(t *machine.Thread) {
+	if d.shouldReencode() {
+		d.reencode(t)
+	}
+}
+
+// shouldReencode checks the cheap trigger counters. The new-edge
+// threshold backs off as the graph grows — re-encoding a big graph is
+// expensive, so it must amortize over proportionally more discoveries
+// (the "principle of dynamic optimization" of paper §3).
+func (d *DACCE) shouldReencode() bool {
+	d.mu.Lock()
+	fired := d.triggersFiredLocked()
+	d.mu.Unlock()
+	return fired
+}
+
+// newEdgeThresholdLocked scales the new-edges trigger with graph size.
+func (d *DACCE) newEdgeThresholdLocked() int {
+	th := d.opt.Trig.NewEdges
+	if adaptive := d.g.NumEdges() / 24; adaptive > th {
+		th = adaptive
+	}
+	return th
+}
+
+// Stats returns the DACCE-specific statistics (Table 1's gTS and costs
+// columns, Fig. 9's progress series).
+func (d *DACCE) Stats() *Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Nodes = d.g.NumNodes()
+	s.Edges = d.g.NumEdges()
+	s.MaxID = d.maxID
+	if len(d.dicts) > 0 {
+		s.Overflowed = d.dicts[len(d.dicts)-1].Overflowed
+	}
+	return &s
+}
+
+// CompressCount returns how many back edges currently have recursion
+// compression enabled.
+func (d *DACCE) CompressCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.compress)
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"dacce/internal/blenc"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// maxDecodeSteps bounds the decoder against corrupted input.
+const maxDecodeSteps = 1 << 22
+
+// Decode decodes a capture into the full calling context, root first
+// (Algorithm 1 plus the expansion of compressed recursion counts). For
+// captures taken on spawned threads the spawning path is prepended
+// (paper §5.3). Safe to call during or after the run.
+func (d *DACCE) Decode(c *Capture) (Context, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dec := &Decoder{P: d.p, G: d.g, Dicts: d.dicts}
+	return dec.decodeLocked(c, true)
+}
+
+// Decoder turns captures back into calling contexts given a program, a
+// call graph and the per-epoch decode dictionaries. DACCE wraps one
+// internally; the PCCE baseline reuses it with a single static epoch.
+type Decoder struct {
+	P     *prog.Program
+	G     *graph.Graph
+	Dicts []*blenc.Assignment
+}
+
+// Decode decodes a capture, including the spawn-path prefix. The caller
+// must ensure the graph is not mutated concurrently.
+func (dec *Decoder) Decode(c *Capture) (Context, error) {
+	return dec.decodeLocked(c, true)
+}
+
+// DecodeSample decodes the capture of a machine sample.
+func (d *DACCE) DecodeSample(s machine.Sample) (Context, error) {
+	c, ok := s.Capture.(*Capture)
+	if !ok {
+		return nil, fmt.Errorf("core: sample does not hold a DACCE capture")
+	}
+	return d.Decode(c)
+}
+
+func (dec *Decoder) decodeLocked(c *Capture, withSpawn bool) (Context, error) {
+	var prefix Context
+	if withSpawn && c.Spawn != nil {
+		p, err := dec.decodeLocked(c.Spawn, true)
+		if err != nil {
+			return nil, fmt.Errorf("decoding spawn path: %w", err)
+		}
+		prefix = p
+	}
+	body, err := dec.decodeOne(c)
+	if err != nil {
+		return nil, err
+	}
+	return append(prefix, body...), nil
+}
+
+// step is one decodable in-edge at a given epoch.
+type step struct {
+	site   prog.SiteID
+	caller prog.FuncID
+	code   uint64
+}
+
+// findEdge returns the unique encoded in-edge of fn whose code range
+// contains id at the dictionary's epoch (Algorithm 1 lines 26–33:
+// En(e) ≤ id < En(e)+numCC(p)), or ok=false.
+func (dec *Decoder) findEdge(dict *blenc.Assignment, fn prog.FuncID, id uint64) (step, bool) {
+	n := dec.G.Node(fn)
+	if n == nil {
+		return step{}, false
+	}
+	for _, e := range n.In {
+		code, ok := dict.Codes[graph.EdgeKey{Site: e.Site, Target: e.Target}]
+		if !ok || !code.Encoded {
+			continue // edge absent at that epoch, or unencoded
+		}
+		ncc := dict.NumCC[e.Caller]
+		if code.Value <= id && id < code.Value+ncc {
+			return step{site: e.Site, caller: e.Caller, code: code.Value}, true
+		}
+	}
+	return step{}, false
+}
+
+// decodeOne decodes the thread-local part of a capture (no spawn
+// prefix). The result is built deepest-frame-first and reversed at the
+// end.
+func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
+	if int(c.Epoch) >= len(dec.Dicts) {
+		return nil, fmt.Errorf("core: capture epoch %d has no dictionary", c.Epoch)
+	}
+	if err := dec.validate(c); err != nil {
+		return nil, err
+	}
+	dict := dec.Dicts[c.Epoch]
+	maxID := dict.MaxID
+
+	ifun := c.Fn
+	id := c.ID
+	cc := append([]CCEntry(nil), c.CC...)
+	onstack := false
+	adjust := func() {
+		if id > maxID {
+			id -= maxID + 1
+			onstack = true
+		}
+	}
+	adjust()
+
+	// rev[i].Site is the call site through which rev[i].Fn was entered;
+	// filled in when the incoming edge is discovered.
+	rev := []ContextFrame{{Site: prog.NoSite, Fn: ifun}}
+	steps := 0
+	for {
+		if steps++; steps > maxDecodeSteps {
+			return nil, fmt.Errorf("core: decode exceeded %d steps (corrupt capture?)", maxDecodeSteps)
+		}
+
+		// Pop phase (Algorithm 1 lines 9–25): at the head of a sub-path
+		// whose context was saved, restore the saved encoding.
+		for id == 0 && onstack {
+			if len(cc) == 0 {
+				return nil, fmt.Errorf("core: id marker set at f%d but ccStack is empty", ifun)
+			}
+			top := cc[len(cc)-1]
+			if top.Target != ifun {
+				break
+			}
+			cc = cc[:len(cc)-1]
+			onstack = false
+			rev[len(rev)-1].Site = top.Site
+			caller := dec.P.Site(top.Site).Caller
+
+			// Expand compressed repetitions (Fig. 5e): each count is
+			// one more traversal of the back edge, separated by the
+			// sub-path whose encoding is the entry's saved id.
+			for k := uint32(0); k < top.Count; k++ {
+				seg, err := dec.segment(dict, top.ID, caller, ifun, top.Site)
+				if err != nil {
+					return nil, fmt.Errorf("expanding repetition %d of %v: %w", k, top, err)
+				}
+				rev = append(rev, seg...)
+			}
+
+			ifun = caller
+			id = top.ID
+			adjust()
+			rev = append(rev, ContextFrame{Site: prog.NoSite, Fn: ifun})
+		}
+
+		if id == 0 && !onstack && len(cc) == 0 && ifun == c.Root {
+			break
+		}
+
+		// Acyclic sub-path phase (lines 26–33): follow the unique
+		// encoded in-edge whose range contains id.
+		st, ok := dec.findEdge(dict, ifun, id)
+		if !ok {
+			return nil, fmt.Errorf("core: stuck decoding at f%d id=%d onstack=%v |cc|=%d (epoch %d)", ifun, id, onstack, len(cc), c.Epoch)
+		}
+		rev[len(rev)-1].Site = st.site
+		ifun = st.caller
+		id -= st.code
+		rev = append(rev, ContextFrame{Site: prog.NoSite, Fn: ifun})
+	}
+
+	// Reverse to root-first order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// validate bounds-checks a capture before decoding: captures may come
+// from serialized external input (daccedecode), so corruption must
+// yield errors, never panics.
+func (dec *Decoder) validate(c *Capture) error {
+	nf, ns := len(dec.P.Funcs), len(dec.P.Sites)
+	if int(c.Fn) < 0 || int(c.Fn) >= nf {
+		return fmt.Errorf("core: capture function f%d out of range", c.Fn)
+	}
+	if int(c.Root) < 0 || int(c.Root) >= nf {
+		return fmt.Errorf("core: capture root f%d out of range", c.Root)
+	}
+	for i, e := range c.CC {
+		if int(e.Site) < 0 || int(e.Site) >= ns {
+			return fmt.Errorf("core: ccStack[%d] site %d out of range", i, e.Site)
+		}
+		if int(e.Target) < 0 || int(e.Target) >= nf {
+			return fmt.Errorf("core: ccStack[%d] target f%d out of range", i, e.Target)
+		}
+	}
+	return nil
+}
+
+// segment decodes one repetition body of a compressed recursive entry:
+// the acyclic sub-path from head (the back edge's target) to from (the
+// back edge's caller), whose encoding is eid. It returns the frames in
+// deepest-first order: from, intermediate nodes, then head entered via
+// recSite.
+func (dec *Decoder) segment(dict *blenc.Assignment, eid uint64, from, head prog.FuncID, recSite prog.SiteID) ([]ContextFrame, error) {
+	maxID := dict.MaxID
+	if eid <= maxID {
+		return nil, fmt.Errorf("core: compressed entry id %d not in marker range (maxID %d)", eid, maxID)
+	}
+	id := eid - (maxID + 1)
+	cur := from
+	var out []ContextFrame
+	steps := 0
+	for !(cur == head && id == 0) {
+		if steps++; steps > maxDecodeSteps {
+			return nil, fmt.Errorf("core: repetition segment exceeded %d steps", maxDecodeSteps)
+		}
+		st, ok := dec.findEdge(dict, cur, id)
+		if !ok {
+			return nil, fmt.Errorf("core: stuck in segment at f%d id=%d", cur, id)
+		}
+		out = append(out, ContextFrame{Site: st.site, Fn: cur})
+		id -= st.code
+		cur = st.caller
+	}
+	out = append(out, ContextFrame{Site: recSite, Fn: head})
+	return out, nil
+}
+
+// ShadowContext converts a machine shadow stack (optionally preceded by
+// the thread's spawn shadow) to a Context, the ground truth a decode is
+// validated against.
+func ShadowContext(spawn, shadow []machine.Frame) Context {
+	out := make(Context, 0, len(spawn)+len(shadow))
+	for _, f := range spawn {
+		out = append(out, ContextFrame{Site: f.Site, Fn: f.Fn})
+	}
+	for _, f := range shadow {
+		out = append(out, ContextFrame{Site: f.Site, Fn: f.Fn})
+	}
+	return out
+}
+
+// Equal reports whether two contexts are identical frame for frame.
+func (c Context) Equal(o Context) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

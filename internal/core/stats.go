@@ -1,0 +1,58 @@
+package core
+
+import "dacce/internal/machine"
+
+// EpochRecord summarizes one re-encoding pass.
+type EpochRecord struct {
+	Epoch        uint32
+	AtSample     int64 // samplesSeen when the pass ran (Fig. 9 x-axis)
+	Nodes        int
+	Edges        int
+	EncodedEdges int
+	MaxID        uint64
+	Overflowed   bool
+	CostCycles   int64
+}
+
+// ProgressPoint is one point of the Fig. 9 progress series: how many
+// nodes/edges are encoded and the maximum context id, per sample tick.
+type ProgressPoint struct {
+	Sample int64
+	Nodes  int
+	Edges  int
+	MaxID  uint64
+	Epoch  uint32
+}
+
+// Stats are the DACCE-side run statistics backing Table 1's DACCE
+// columns and Fig. 9.
+type Stats struct {
+	// GTS is the number of re-encoding passes (Table 1 "gTS").
+	GTS int
+	// ReencodeCost is the total model cost of all passes (Table 1
+	// "costs", reported in µs via ReencodeCostMicros).
+	ReencodeCost int64
+	// EdgesDiscovered counts first invocations seen by the handler.
+	EdgesDiscovered int
+	// TailFixups counts functions discovered to contain tail calls.
+	TailFixups int
+	// IncrementalPasses counts re-encodings served by the incremental
+	// renumbering (Options.Incremental).
+	IncrementalPasses int
+	// Nodes/Edges/MaxID describe the final dynamic call graph.
+	Nodes      int
+	Edges      int
+	MaxID      uint64
+	Overflowed bool
+	// History holds one record per re-encoding pass.
+	History []EpochRecord
+	// Progress is the sampled Fig. 9 series (when TrackProgress is on).
+	Progress []ProgressPoint
+}
+
+// ReencodeCostMicros converts the total re-encoding cost to
+// microseconds at the machine's nominal clock, matching Table 1's
+// "costs(us)" units.
+func (s *Stats) ReencodeCostMicros() float64 {
+	return float64(s.ReencodeCost) / machine.NominalHz * 1e6
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// actKind classifies the instrumentation an edge gets at the current
+// epoch.
+type actKind uint8
+
+const (
+	// actEncoded: id += code before the call, id -= code after
+	// (Fig. 1); code 0 means no instrumentation at all.
+	actEncoded actKind = iota
+	// actUnencoded: push <id, callsite, target> on the ccStack and set
+	// id = maxID+1 (Fig. 2b). Used for edges discovered since the last
+	// re-encoding and for edges excluded to fit the id budget.
+	actUnencoded
+	// actRecursive: a back edge — never encoded (§3.3); like
+	// actUnencoded but with the repetition compression of Fig. 5e when
+	// enabled.
+	actRecursive
+)
+
+// edgeAction is the decoded instrumentation decision for one edge.
+type edgeAction struct {
+	target   prog.FuncID
+	kind     actKind
+	code     uint64
+	compress bool
+	// save wraps the call in a TcStack save/restore of the encoding
+	// context because the callee contains tail calls (Fig. 7b).
+	save bool
+}
+
+// Cookie tags: how the epilogue undoes the prologue.
+const (
+	tagNone     uint8 = iota // nothing to undo
+	tagEnc                   // id -= A
+	tagPop                   // id = ccStack.pop().ID
+	tagRecCount              // id = ccStack.top().ID; top.Count--
+	tagSave                  // id = A; ccStack truncated to B
+)
+
+// applyAction performs the prologue side of an action on TLS st and
+// returns the cookie its epilogue needs. t carries cost accounting and
+// is nil during re-encoding replay (translation charges separately).
+func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target prog.FuncID, act edgeAction, markID uint64) machine.Cookie {
+	switch act.kind {
+	case actEncoded:
+		if act.save {
+			ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
+			st.id += act.code
+			if t != nil {
+				t.C.TcSaves++
+				t.C.InstrCost += machine.CostTcSave
+				if act.code > 0 {
+					t.C.InstrCost += machine.CostIDAdd
+				}
+			}
+			return ck
+		}
+		if act.code == 0 {
+			return machine.Cookie{Tag: tagNone}
+		}
+		st.id += act.code
+		if t != nil {
+			t.C.InstrCost += machine.CostIDAdd
+		}
+		return machine.Cookie{Tag: tagEnc, A: act.code}
+
+	case actUnencoded:
+		if act.save {
+			ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
+			d.pushCC(t, st, CCEntry{ID: st.id, Site: sid, Target: target})
+			st.id = markID
+			if t != nil {
+				t.C.TcSaves++
+				t.C.InstrCost += machine.CostTcSave
+				d.unencCalls.Add(1)
+				d.ccOps.Add(1)
+			}
+			return ck
+		}
+		d.pushCC(t, st, CCEntry{ID: st.id, Site: sid, Target: target})
+		st.id = markID
+		if t != nil {
+			d.unencCalls.Add(1)
+			d.ccOps.Add(1)
+		}
+		return machine.Cookie{Tag: tagPop}
+
+	case actRecursive:
+		if act.save {
+			// Rare combination (recursive edge into a tail-containing
+			// function): use the uncompressed push with a full restore.
+			ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
+			d.pushCC(t, st, CCEntry{ID: st.id, Site: sid, Target: target, Rec: true})
+			st.id = markID
+			if t != nil {
+				t.C.TcSaves++
+				t.C.InstrCost += machine.CostTcSave
+			}
+			return ck
+		}
+		if act.compress {
+			if t != nil {
+				t.C.Compares += 2
+				t.C.InstrCost += 2 * machine.CostCompare
+			}
+			if n := len(st.cc); n > 0 {
+				top := &st.cc[n-1]
+				if top.Rec && top.ID == st.id && top.Site == sid && top.Target == target {
+					top.Count++
+					st.id = markID
+					if t != nil {
+						t.C.CCPeek++
+						t.C.InstrCost += machine.CostCCPeek
+					}
+					return machine.Cookie{Tag: tagRecCount}
+				}
+			}
+		}
+		d.pushCC(t, st, CCEntry{ID: st.id, Site: sid, Target: target, Rec: true})
+		st.id = markID
+		return machine.Cookie{Tag: tagPop}
+	}
+	panic(fmt.Sprintf("core: unknown action kind %d", act.kind))
+}
+
+// pushCC pushes an entry on the thread's ccStack, charging the model
+// cost when t is non-nil.
+func (d *DACCE) pushCC(t *machine.Thread, st *tls, e CCEntry) {
+	st.cc = append(st.cc, e)
+	if t != nil {
+		t.C.CCPush++
+		t.C.InstrCost += machine.CostCCPush
+		if len(st.cc) > t.C.MaxCCDepth {
+			t.C.MaxCCDepth = len(st.cc)
+		}
+	}
+}
+
+// epiStub is the shared epilogue: it dispatches on the cookie tag, so
+// rewriting a frame's cookie rewrites its return behaviour.
+type epiStub struct{ d *DACCE }
+
+func (e *epiStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	panic("core: epilogue stub used as prologue")
+}
+
+func (e *epiStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID, c machine.Cookie) {
+	st := t.State.(*tls)
+	switch c.Tag {
+	case tagNone:
+	case tagEnc:
+		st.id -= c.A
+		t.C.InstrCost += machine.CostIDAdd
+	case tagPop:
+		n := len(st.cc)
+		if n == 0 {
+			panic("core: ccStack underflow on return")
+		}
+		st.id = st.cc[n-1].ID
+		st.cc = st.cc[:n-1]
+		t.C.CCPop++
+		t.C.InstrCost += machine.CostCCPop
+	case tagRecCount:
+		n := len(st.cc)
+		if n == 0 {
+			panic("core: ccStack underflow on compressed return")
+		}
+		top := &st.cc[n-1]
+		st.id = top.ID
+		top.Count--
+		t.C.CCPeek++
+		t.C.InstrCost += machine.CostCCPeek
+	case tagSave:
+		st.id = c.A
+		if int(c.B) > len(st.cc) {
+			panic("core: TcStack restore past ccStack top")
+		}
+		st.cc = st.cc[:c.B]
+		t.C.TcSaves++
+		t.C.InstrCost += machine.CostTcSave
+	default:
+		panic(fmt.Sprintf("core: unknown cookie tag %d", c.Tag))
+	}
+}
+
+// trapStub is the initial instrumentation of every call site: invoke
+// the runtime handler (paper §3).
+type trapStub struct{ d *DACCE }
+
+func (ts *trapStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	return ts.d.trapApply(t, s, target)
+}
+
+func (ts *trapStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID, c machine.Cookie) {
+	ts.d.epi.Epilogue(t, s, target, c)
+}
+
+// trapApply is the runtime handler: add the invoked edge to the call
+// graph, patch the site, possibly fix up tail-containing callers and
+// trigger a re-encoding, then execute this invocation as an unencoded
+// call (Figs. 2b, 3b: push, id = maxID+1).
+func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	t.C.HandlerTraps++
+	t.C.InstrCost += machine.CostHandlerTrap
+
+	tailFix := prog.NoFunc
+	d.mu.Lock()
+	e, isNew := d.g.AddEdge(s.ID, target)
+	atomic.AddInt64(&e.Freq, 1)
+	if isNew {
+		d.newEdges++
+		d.pendingNew = append(d.pendingNew, e)
+		d.stats.EdgesDiscovered++
+		if s.Kind.IsTail() && !d.tailContaining[s.Caller] {
+			d.tailContaining[s.Caller] = true
+			tailFix = s.Caller
+		}
+		d.rebuildSiteLocked(s.ID)
+	}
+	d.mu.Unlock()
+
+	if tailFix != prog.NoFunc {
+		d.tailFixup(t, tailFix)
+	}
+	if d.shouldReencode() {
+		d.reencode(t)
+	}
+
+	// Execute this invocation as an unencoded call; the next one goes
+	// through the patched stub.
+	d.mu.Lock()
+	markID := d.maxID + 1
+	save := d.tailContaining[target] && !s.Kind.IsTail()
+	st := t.State.(*tls)
+	ck := d.applyAction(t, st, s.ID, target, edgeAction{target: target, kind: actUnencoded, save: save}, markID)
+	d.mu.Unlock()
+	return ck, d.epi
+}
+
+// siteStub is the generated instrumentation of one call site after its
+// first invocation. Exactly one of direct, inline and hash is set.
+type siteStub struct {
+	d      *DACCE
+	site   prog.SiteID
+	markID uint64
+	direct *edgeAction  // direct call: one known edge
+	inline []edgeAction // indirect, few targets: compare chain (Fig. 3d)
+	hash   *hashTable   // indirect, many targets: one-probe hash (Fig. 4)
+}
+
+func (ss *siteStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	st := t.State.(*tls)
+	switch {
+	case ss.direct != nil:
+		return ss.d.applyAction(t, st, ss.site, target, *ss.direct, ss.markID), ss.d.epi
+	case ss.hash != nil:
+		t.C.HashProbes++
+		t.C.InstrCost += machine.CostHashProbe
+		if code, ok := ss.hash.lookup(target); ok {
+			act := edgeAction{target: target, kind: actEncoded, code: code}
+			return ss.d.applyAction(t, st, ss.site, target, act, ss.markID), ss.d.epi
+		}
+		// Targets the hash cannot hold (save-wrapped, recursive,
+		// unencoded) sit on a short compare chain behind it; only
+		// genuinely unknown targets trap.
+		for i := range ss.inline {
+			t.C.Compares++
+			t.C.InstrCost += machine.CostCompare
+			if ss.inline[i].target == target {
+				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i], ss.markID), ss.d.epi
+			}
+		}
+		return ss.d.trapApply(t, s, target)
+	default:
+		for i := range ss.inline {
+			t.C.Compares++
+			t.C.InstrCost += machine.CostCompare
+			if ss.inline[i].target == target {
+				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i], ss.markID), ss.d.epi
+			}
+		}
+		return ss.d.trapApply(t, s, target)
+	}
+}
+
+func (ss *siteStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID, c machine.Cookie) {
+	ss.d.epi.Epilogue(t, s, target, c)
+}
+
+// hashTable is the indirect-target dispatch table of Fig. 4: a single
+// probe per invocation; conflicts and unknown targets fall back to the
+// runtime handler. Only plainly encoded targets are installed.
+type hashTable struct {
+	mask  uint32
+	slots []hashSlot
+}
+
+type hashSlot struct {
+	used   bool
+	target prog.FuncID
+	code   uint64
+}
+
+func hashTarget(f prog.FuncID) uint32 { return uint32(f) * 2654435761 }
+
+// buildHash installs plainly encoded targets into the one-probe table
+// and returns everything it could not place (save-wrapped, recursive,
+// unencoded, or conflicting targets) for the fallback compare chain.
+func buildHash(actions []edgeAction) (*hashTable, []edgeAction) {
+	size := 4
+	for size < 2*len(actions) {
+		size *= 2
+	}
+	h := &hashTable{mask: uint32(size - 1), slots: make([]hashSlot, size)}
+	var rest []edgeAction
+	for _, a := range actions {
+		if a.kind != actEncoded || a.save {
+			rest = append(rest, a)
+			continue
+		}
+		i := hashTarget(a.target) & h.mask
+		if h.slots[i].used {
+			rest = append(rest, a) // conflict (Fig. 4): dispatch behind the table
+			continue
+		}
+		h.slots[i] = hashSlot{used: true, target: a.target, code: a.code}
+	}
+	return h, rest
+}
+
+func (h *hashTable) lookup(target prog.FuncID) (uint64, bool) {
+	s := h.slots[hashTarget(target)&h.mask]
+	if s.used && s.target == target {
+		return s.code, true
+	}
+	return 0, false
+}
+
+// actionForLocked computes the instrumentation decision for one edge
+// under the newest assignment. Caller holds d.mu.
+func (d *DACCE) actionForLocked(e edgeRef) edgeAction {
+	asn := d.dicts[len(d.dicts)-1]
+	ge := d.g.Edge(e.site, e.target)
+	act := edgeAction{target: e.target}
+	if !s_isTail(d.p, e.site) {
+		act.save = d.tailContaining[e.target]
+	}
+	if ge == nil {
+		act.kind = actUnencoded
+		return act
+	}
+	code, ok := asn.CodeOf(ge)
+	switch {
+	case ok && code.Encoded:
+		act.kind = actEncoded
+		act.code = code.Value
+	case ok && code.Back:
+		act.kind = actRecursive
+		act.compress = d.compress[edgeKeyOf(ge)] && !act.save
+	default:
+		act.kind = actUnencoded
+	}
+	return act
+}
+
+// edgeRef names an edge by site and target.
+type edgeRef struct {
+	site   prog.SiteID
+	target prog.FuncID
+}
+
+func s_isTail(p *prog.Program, sid prog.SiteID) bool { return p.Site(sid).Kind.IsTail() }
+
+// rebuildSiteLocked regenerates the stub of one call site from the
+// current graph and assignment. Caller holds d.mu.
+func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
+	edges := d.g.EdgesAt(sid)
+	if len(edges) == 0 {
+		d.m.SetStub(sid, d.trap)
+		return
+	}
+	s := d.p.Site(sid)
+	markID := d.maxID + 1
+	if !s.Kind.IsIndirect() {
+		act := d.actionForLocked(edgeRef{sid, edges[0].Target})
+		if act.kind == actEncoded && act.code == 0 && !act.save {
+			// The hottest edge into each node is encoded 0 and needs no
+			// instrumentation at all (paper §4).
+			d.m.SetStub(sid, machine.PlainStub())
+			return
+		}
+		a := act
+		d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, direct: &a})
+		return
+	}
+	actions := make([]edgeAction, 0, len(edges))
+	for _, e := range edges {
+		actions = append(actions, d.actionForLocked(edgeRef{sid, e.Target}))
+	}
+	if len(actions) <= d.opt.InlineThreshold {
+		d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, inline: actions})
+		return
+	}
+	// Plainly encoded targets dispatch through the one-probe hash
+	// (Fig. 4); the rest — and hash conflicts — stay on a compare chain
+	// behind it.
+	h, rest := buildHash(actions)
+	d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
+}
+
+// rebuildAllLocked regenerates every patched site. Caller holds d.mu
+// with the world stopped.
+func (d *DACCE) rebuildAllLocked() {
+	for sid := 0; sid < d.p.NumSites(); sid++ {
+		if len(d.g.EdgesAt(prog.SiteID(sid))) > 0 {
+			d.rebuildSiteLocked(prog.SiteID(sid))
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dacce/internal/workload"
+)
+
+func TestRunBenchmarkShape(t *testing.T) {
+	pr, _ := workload.ByName("456.hmmer")
+	r, err := RunBenchmark(pr, RunConfig{Calls: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline shape of Table 1 on a single row.
+	if r.DACCE.Nodes >= r.PCCE.Nodes {
+		t.Errorf("dynamic nodes %d not < static %d", r.DACCE.Nodes, r.PCCE.Nodes)
+	}
+	if r.DACCE.Edges >= r.PCCE.Edges {
+		t.Errorf("dynamic edges %d not < static %d", r.DACCE.Edges, r.PCCE.Edges)
+	}
+	if !r.PCCE.Overflow && r.DACCE.MaxID >= r.PCCE.MaxID {
+		t.Errorf("dacce maxID %d not < pcce %d", r.DACCE.MaxID, r.PCCE.MaxID)
+	}
+	if r.DACCE.GTS == 0 {
+		t.Error("no re-encodings on a discovering workload")
+	}
+	if r.CallsPerSec <= 0 {
+		t.Error("calls/s not computed")
+	}
+	if r.Paper.Name != "456.hmmer" {
+		t.Errorf("paper row not attached: %+v", r.Paper)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	pr, _ := workload.ByName("429.mcf")
+	r, err := RunBenchmark(pr, RunConfig{Calls: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, f8 strings.Builder
+	if err := RenderTable1([]*BenchResult{r}, &t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1.String(), "429.mcf") {
+		t.Errorf("table 1 missing benchmark row:\n%s", t1.String())
+	}
+	if err := RenderFig8([]*BenchResult{r}, &f8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f8.String(), "geomean") {
+		t.Errorf("fig 8 missing geomean:\n%s", f8.String())
+	}
+}
+
+func TestFig9Series(t *testing.T) {
+	s, err := Fig9("433.milc", RunConfig{Calls: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 3 {
+		t.Fatalf("progress series has %d points", s.Len())
+	}
+	out := s.String()
+	if !strings.HasPrefix(out, "sample\tnodes\tedges\tmaxID\tepoch") {
+		t.Errorf("series header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestFig10Series(t *testing.T) {
+	s, err := Fig10("445.gobmk", RunConfig{Calls: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 2 {
+		t.Fatalf("CDF series has %d points", s.Len())
+	}
+	// Final CDF values must reach 1.
+	lines := strings.Split(strings.TrimSpace(s.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, "\t1\t1") {
+		t.Errorf("CDFs do not reach 1: %q", last)
+	}
+}
+
+func TestFig9UnknownBenchmark(t *testing.T) {
+	if _, err := Fig9("nope", RunConfig{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestWriteReportEndToEnd runs the full EXPERIMENTS.md generator on a
+// reduced call budget: every section must render with its headline
+// numbers filled in.
+func TestWriteReportEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 41-benchmark sweep")
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, RunConfig{Calls: 12_000}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Table 1", "## Figure 8", "## Figure 9", "## Figure 10",
+		"400.perlbench", "streamcluster", "geomean", "Shape check",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The reduced budget shortens the figure series; the structural
+	// floor still catches an empty or truncated report.
+	if len(out) < 9_000 {
+		t.Errorf("report suspiciously small: %d bytes", len(out))
+	}
+}

@@ -1,0 +1,305 @@
+// Package graph implements the dynamic call graph both encoders operate
+// on: nodes are functions, edges are (call site → target) pairs. DACCE
+// grows the graph one invoked edge at a time; PCCE builds it up front
+// from static information. The package also provides the two analyses
+// the encoders need: back-edge classification by depth-first search and
+// a topological order of the remaining acyclic graph.
+//
+// The graph is deliberately append-only: nodes and edges are never
+// removed, so *Edge and *Node pointers remain valid across re-encodings
+// and can key the per-epoch decode dictionaries (paper Fig. 6). All
+// iteration orders are insertion orders, which makes every analysis —
+// and therefore every encoding — deterministic.
+//
+// Synchronization is the caller's job: DACCE mutates the graph only
+// inside the runtime handler under the scheme lock, and analyses run
+// with the world stopped.
+package graph
+
+import (
+	"fmt"
+
+	"dacce/internal/prog"
+)
+
+// Node is a function that has appeared in the call graph.
+type Node struct {
+	Fn   prog.FuncID
+	In   []*Edge // edges targeting this function, in insertion order
+	Out  []*Edge // edges leaving this function, in insertion order
+	Seq  int     // insertion sequence number
+	name string
+}
+
+// Name returns the function name captured at insertion.
+func (n *Node) Name() string { return n.name }
+
+// Edge is a call edge. The pair (Site, Target) is unique: a direct site
+// has one edge, an indirect site one edge per distinct run-time target.
+type Edge struct {
+	Seq    int // insertion sequence number, also index into Graph.Edges
+	Site   prog.SiteID
+	Caller prog.FuncID
+	Target prog.FuncID
+	Kind   prog.Kind
+
+	// Freq is the observed invocation count used by adaptive encoding to
+	// order edges hottest-first. Unencoded stubs count it directly (they
+	// are instrumented anyway); for zero-cost encoded edges it is
+	// re-estimated from decoded samples. Updated only under the scheme
+	// lock or with the world stopped.
+	Freq int64
+
+	// Back marks the edge as a back edge in the most recent
+	// classification; back edges are never encoded (paper §3.3).
+	Back bool
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("edge{site=%d %d->%d %s}", e.Site, e.Caller, e.Target, e.Kind)
+}
+
+// EdgeKey identifies an edge independent of insertion.
+type EdgeKey struct {
+	Site   prog.SiteID
+	Target prog.FuncID
+}
+
+// Graph is a dynamic call graph.
+type Graph struct {
+	p       *prog.Program
+	Entry   prog.FuncID
+	roots   []prog.FuncID // Entry plus thread entry points, in order
+	rootSet map[prog.FuncID]bool
+	NodeSeq []*Node // nodes in insertion order
+	Edges   []*Edge // edges in insertion order
+	nodes   map[prog.FuncID]*Node
+	edges   map[EdgeKey]*Edge
+	bySite  map[prog.SiteID][]*Edge
+}
+
+// New returns a graph over the program containing only the entry node,
+// mirroring DACCE's start state ("a call graph containing only main").
+func New(p *prog.Program) *Graph {
+	g := &Graph{
+		p:       p,
+		Entry:   p.Entry,
+		rootSet: make(map[prog.FuncID]bool),
+		nodes:   make(map[prog.FuncID]*Node),
+		edges:   make(map[EdgeKey]*Edge),
+		bySite:  make(map[prog.SiteID][]*Edge),
+	}
+	g.AddNode(p.Entry)
+	g.roots = []prog.FuncID{p.Entry}
+	g.rootSet[p.Entry] = true
+	return g
+}
+
+// AddRoot registers fn as an additional traversal root: a thread entry
+// point (paper §5.3). Idempotent; the node is added if absent.
+func (g *Graph) AddRoot(fn prog.FuncID) {
+	if g.rootSet[fn] {
+		return
+	}
+	g.AddNode(fn)
+	g.rootSet[fn] = true
+	g.roots = append(g.roots, fn)
+}
+
+// Roots returns the traversal roots (entry first).
+func (g *Graph) Roots() []prog.FuncID { return g.roots }
+
+// Program returns the underlying program.
+func (g *Graph) Program() *prog.Program { return g.p }
+
+// NumNodes returns the number of functions in the graph.
+func (g *Graph) NumNodes() int { return len(g.NodeSeq) }
+
+// NumEdges returns the number of edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Node returns the node for fn, or nil if fn has not been added.
+func (g *Graph) Node(fn prog.FuncID) *Node { return g.nodes[fn] }
+
+// AddNode ensures fn is present and returns its node.
+func (g *Graph) AddNode(fn prog.FuncID) *Node {
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &Node{Fn: fn, Seq: len(g.NodeSeq), name: g.p.Funcs[fn].Name}
+	g.nodes[fn] = n
+	g.NodeSeq = append(g.NodeSeq, n)
+	return n
+}
+
+// Edge returns the edge for (site, target), or nil.
+func (g *Graph) Edge(site prog.SiteID, target prog.FuncID) *Edge {
+	return g.edges[EdgeKey{site, target}]
+}
+
+// EdgesAt returns all edges out of the given call site.
+func (g *Graph) EdgesAt(site prog.SiteID) []*Edge { return g.bySite[site] }
+
+// AddEdge ensures the (site, target) edge exists and returns it together
+// with whether it was newly inserted. Caller and target nodes are added
+// as needed.
+func (g *Graph) AddEdge(site prog.SiteID, target prog.FuncID) (*Edge, bool) {
+	key := EdgeKey{site, target}
+	if e, ok := g.edges[key]; ok {
+		return e, false
+	}
+	s := g.p.Site(site)
+	caller := g.AddNode(s.Caller)
+	tnode := g.AddNode(target)
+	e := &Edge{
+		Seq:    len(g.Edges),
+		Site:   site,
+		Caller: s.Caller,
+		Target: target,
+		Kind:   s.Kind,
+	}
+	g.edges[key] = e
+	g.Edges = append(g.Edges, e)
+	g.bySite[site] = append(g.bySite[site], e)
+	caller.Out = append(caller.Out, e)
+	tnode.In = append(tnode.In, e)
+	return e, true
+}
+
+// GetEdge implements the decoder's getEdge(cs, ifun) lookup: the edge at
+// call site cs that ends at ifun (Algorithm 1, line 13). Returns nil if
+// no such edge exists.
+func (g *Graph) GetEdge(cs prog.SiteID, ifun prog.FuncID) *Edge {
+	return g.Edge(cs, ifun)
+}
+
+// dfsColor values for ClassifyBackEdges.
+const (
+	white = iota // unvisited
+	gray         // on the current DFS path
+	black        // finished
+)
+
+// ClassifyBackEdges runs an iterative depth-first search from the entry
+// node and sets Edge.Back on every edge whose target is on the current
+// DFS path. Removing the back edges leaves an acyclic graph. Edges from
+// nodes unreachable from the entry are also marked Back so that the
+// encoder never assigns them codes (they can only be reached through
+// mechanisms the encoding cannot see).
+//
+// The classification is deterministic: children are visited in edge
+// insertion order.
+func (g *Graph) ClassifyBackEdges() {
+	for _, e := range g.Edges {
+		e.Back = false
+	}
+	color := make(map[prog.FuncID]uint8, len(g.NodeSeq))
+
+	type frame struct {
+		n    *Node
+		next int
+	}
+	for _, root := range g.roots {
+		rn := g.nodes[root]
+		if rn == nil || color[root] != white {
+			continue
+		}
+		stack := []frame{{n: rn}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(f.n.Out) {
+				e := f.n.Out[f.next]
+				f.next++
+				switch color[e.Target] {
+				case white:
+					color[e.Target] = gray
+					stack = append(stack, frame{n: g.nodes[e.Target]})
+				case gray:
+					e.Back = true
+				}
+			} else {
+				color[f.n.Fn] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	// Unreachable nodes: mark their outgoing edges as back so they stay
+	// out of the encoding.
+	for _, n := range g.NodeSeq {
+		if color[n.Fn] != black {
+			for _, e := range n.Out {
+				e.Back = true
+			}
+		}
+	}
+}
+
+// TopoOrder returns the nodes reachable from entry in a topological
+// order of the graph without back edges. ClassifyBackEdges must have run
+// on the current graph. Nodes unreachable from the entry are appended at
+// the end (they have no encoded in-edges and act as isolated roots).
+func (g *Graph) TopoOrder() []*Node {
+	indeg := make(map[prog.FuncID]int, len(g.NodeSeq))
+	for _, n := range g.NodeSeq {
+		indeg[n.Fn] = 0
+	}
+	for _, e := range g.Edges {
+		if !e.Back {
+			indeg[e.Target]++
+		}
+	}
+	order := make([]*Node, 0, len(g.NodeSeq))
+	// Deterministic Kahn: seed with zero-indegree nodes in insertion
+	// order; the queue preserves discovery order.
+	queue := make([]*Node, 0, 8)
+	for _, n := range g.NodeSeq {
+		if indeg[n.Fn] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Out {
+			if e.Back {
+				continue
+			}
+			indeg[e.Target]--
+			if indeg[e.Target] == 0 {
+				queue = append(queue, g.nodes[e.Target])
+			}
+		}
+	}
+	if len(order) != len(g.NodeSeq) {
+		// A cycle survived classification; that would be a bug in
+		// ClassifyBackEdges. Fail loudly rather than mis-encode.
+		panic(fmt.Sprintf("graph: topological sort covered %d of %d nodes", len(order), len(g.NodeSeq)))
+	}
+	return order
+}
+
+// Reachable returns the set of nodes reachable from any root via any
+// edge.
+func (g *Graph) Reachable() map[prog.FuncID]bool {
+	seen := make(map[prog.FuncID]bool, len(g.NodeSeq))
+	var stack []*Node
+	for _, root := range g.roots {
+		if n := g.nodes[root]; n != nil && !seen[root] {
+			seen[root] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if !seen[e.Target] {
+				seen[e.Target] = true
+				stack = append(stack, g.nodes[e.Target])
+			}
+		}
+	}
+	return seen
+}

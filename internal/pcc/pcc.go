@@ -1,0 +1,110 @@
+// Package pcc implements the probabilistic-calling-context baseline
+// (Bond & McKinley, OOPSLA '07; paper §7): every call updates a
+// per-thread hash V ← 3·V + cs and restores it on return. Capture is a
+// single number — essentially free — but the mapping back to a call
+// path is lost, which is the paper's argument for precise encodings.
+// The package therefore exposes collision accounting instead of a
+// decoder.
+package pcc
+
+import (
+	"sync"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Value is a probabilistic context identifier.
+type Value uint64
+
+// tls is the per-thread hash state.
+type tls struct{ v Value }
+
+// Scheme is the PCC baseline.
+type Scheme struct {
+	mu sync.Mutex
+	// seen maps observed values to the number of *distinct* true
+	// contexts that produced them, via a canonical string of the first
+	// shadow stack observed; used by the collision report.
+	seen map[Value]string
+	// Collisions counts values observed with two different true
+	// contexts.
+	collisions int64
+	distinct   int64
+}
+
+// New returns a PCC scheme.
+func New() *Scheme { return &Scheme{seen: make(map[Value]string)} }
+
+// Name implements machine.Scheme.
+func (*Scheme) Name() string { return "pcc" }
+
+// Install implements machine.Scheme.
+func (s *Scheme) Install(m *machine.Machine) {
+	st := &stub{}
+	for i := 0; i < m.Program().NumSites(); i++ {
+		m.SetStub(prog.SiteID(i), st)
+	}
+}
+
+// ThreadStart implements machine.Scheme.
+func (s *Scheme) ThreadStart(t, parent *machine.Thread) {
+	state := &tls{}
+	if parent != nil {
+		state.v = parent.State.(*tls).v // inherit the spawn context hash
+	}
+	t.State = state
+}
+
+// ThreadExit implements machine.Scheme.
+func (*Scheme) ThreadExit(t *machine.Thread) {}
+
+// Capture implements machine.Scheme: just the value.
+func (s *Scheme) Capture(t *machine.Thread) any {
+	return t.State.(*tls).v
+}
+
+// Observe records a (value, true-context) pair for collision
+// accounting; the tests and the evaluation harness feed it from machine
+// samples.
+func (s *Scheme) Observe(v Value, trueCtx string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.seen[v]; ok {
+		if prev != trueCtx {
+			s.collisions++
+		}
+		return
+	}
+	s.seen[v] = trueCtx
+	s.distinct++
+}
+
+// Collisions returns how many observed values mapped to more than one
+// true context, and how many distinct values were seen.
+func (s *Scheme) Collisions() (collisions, distinct int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collisions, s.distinct
+}
+
+// stub updates the hash around every call; the cookie restores the
+// previous value on return, so the value identifies the current
+// context, not the call history. Tail calls get no restore — PCC is
+// probabilistic, drift just adds noise.
+type stub struct{}
+
+func (st *stub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	state := t.State.(*tls)
+	t.C.InstrCost += machine.CostPCCHash
+	prev := state.v
+	// Real PCC hashes the callsite address, which is never zero; offset
+	// the site id so site 0 perturbs the value too.
+	state.v = 3*state.v + Value(site.ID) + 1
+	return machine.Cookie{A: uint64(prev)}, st
+}
+
+func (st *stub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	state := t.State.(*tls)
+	state.v = Value(c.A)
+}

@@ -1,0 +1,154 @@
+package pcc
+
+import (
+	"fmt"
+	"testing"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/progtest"
+)
+
+func TestPCCDistinguishesContexts(t *testing.T) {
+	fx, b := progtest.Fig1()
+	p := b.MustBuild()
+	fx.P = p
+	sc := progtest.NewScript(p)
+	sc.Root = []progtest.Call{
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"), progtest.By(fx.S("DE")))),
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"), progtest.By(fx.S("DE")))),
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"), progtest.By(fx.S("DE")))),
+	}
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	s := New()
+	m := machine.New(p, s, machine.Config{SampleEvery: 1})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical true contexts must produce identical values; distinct
+	// ones should (probabilistically, but surely at this size) differ.
+	byCtx := map[string]Value{}
+	for _, sm := range rs.Samples {
+		v := sm.Capture.(Value)
+		key := core.ShadowContext(nil, sm.Shadow).String()
+		if prev, ok := byCtx[key]; ok && prev != v {
+			t.Errorf("context %s got two values %d and %d", key, prev, v)
+		}
+		byCtx[key] = v
+		s.Observe(v, key)
+	}
+	seen := map[Value]bool{}
+	for _, v := range byCtx {
+		seen[v] = true
+	}
+	if len(seen) != len(byCtx) {
+		t.Errorf("%d distinct contexts share %d values", len(byCtx), len(seen))
+	}
+	coll, distinct := s.Collisions()
+	if coll != 0 {
+		t.Errorf("collisions = %d", coll)
+	}
+	if distinct == 0 {
+		t.Error("no values observed")
+	}
+}
+
+func TestPCCObserveCollisions(t *testing.T) {
+	s := New()
+	s.Observe(1, "a")
+	s.Observe(1, "a") // same context: no collision
+	s.Observe(1, "b") // different context, same value: collision
+	s.Observe(2, "c")
+	coll, distinct := s.Collisions()
+	if coll != 1 || distinct != 2 {
+		t.Errorf("collisions/distinct = %d/%d, want 1/2", coll, distinct)
+	}
+}
+
+func TestPCCValueRestoredOnReturn(t *testing.T) {
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	f := b.Func("f")
+	sf := b.CallSite(mainF, f)
+	var inMain []Value
+	b.Body(mainF, func(x prog.Exec) {
+		th := x.(*machine.Thread)
+		grab := func() { inMain = append(inMain, th.State.(*tls).v) }
+		grab()
+		x.Call(sf, prog.NoFunc)
+		grab()
+		x.Call(sf, prog.NoFunc)
+		grab()
+	})
+	b.Leaf(f, 1)
+	p := b.MustBuild()
+	m := machine.New(p, New(), machine.Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inMain) != 3 || inMain[0] != inMain[1] || inMain[1] != inMain[2] {
+		t.Errorf("value not restored across calls: %v", inMain)
+	}
+}
+
+func TestPCCCollisionRateSmall(t *testing.T) {
+	// Generate many distinct deep contexts and measure value collisions:
+	// should be far below 1% at this scale (the paper's argument is not
+	// that PCC collides often, but that its values cannot be decoded).
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	fs := make([]prog.FuncID, 12)
+	sites := make([]prog.SiteID, 0)
+	for i := range fs {
+		fs[i] = b.Func(fmt.Sprintf("f%d", i))
+	}
+	// Chain with branching: each fi calls fi+1 via one of two sites.
+	type pair struct{ a, b prog.SiteID }
+	chain := make([]pair, len(fs)-1)
+	for i := 0; i < len(fs)-1; i++ {
+		chain[i] = pair{b.CallSite(fs[i], fs[i+1]), b.CallSite(fs[i], fs[i+1])}
+		sites = append(sites, chain[i].a, chain[i].b)
+	}
+	entry := b.CallSite(mainF, fs[0])
+	_ = sites
+	b.Body(mainF, func(x prog.Exec) {
+		for i := 0; i < 2000; i++ {
+			x.Call(entry, prog.NoFunc)
+		}
+	})
+	for i, f := range fs {
+		i := i
+		b.Body(f, func(x prog.Exec) {
+			if i < len(chain) {
+				c := chain[i]
+				if x.Rand().Float64() < 0.5 {
+					x.Call(c.a, prog.NoFunc)
+				} else {
+					x.Call(c.b, prog.NoFunc)
+				}
+			}
+		})
+	}
+	p := b.MustBuild()
+	s := New()
+	m := machine.New(p, s, machine.Config{SampleEvery: 3, Seed: 5})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range rs.Samples {
+		s.Observe(sm.Capture.(Value), core.ShadowContext(nil, sm.Shadow).String())
+	}
+	coll, distinct := s.Collisions()
+	if distinct < 100 {
+		t.Fatalf("only %d distinct values; workload too small", distinct)
+	}
+	if float64(coll) > 0.01*float64(distinct) {
+		t.Errorf("collision rate %d/%d too high", coll, distinct)
+	}
+}

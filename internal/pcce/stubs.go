@@ -1,0 +1,165 @@
+package pcce
+
+import (
+	"fmt"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Cookie tags shared by all PCCE stubs.
+const (
+	tagNone uint8 = iota
+	tagEnc        // id -= A
+	tagPop        // id = ccStack.pop().ID
+	tagSave       // id = A; ccStack truncated to B
+)
+
+// apply performs one action's prologue on the thread, returning the
+// epilogue cookie. PCCE never patches, so there is no replay variant.
+func (s *Scheme) apply(t *machine.Thread, st *tls, sid prog.SiteID, target prog.FuncID, a action, markID uint64) machine.Cookie {
+	if a.kind == actEncoded {
+		if a.save {
+			ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
+			st.id += a.code
+			t.C.TcSaves++
+			t.C.InstrCost += machine.CostTcSave
+			if a.code > 0 {
+				t.C.InstrCost += machine.CostIDAdd
+			}
+			return ck
+		}
+		if a.code == 0 {
+			return machine.Cookie{Tag: tagNone}
+		}
+		st.id += a.code
+		t.C.InstrCost += machine.CostIDAdd
+		return machine.Cookie{Tag: tagEnc, A: a.code}
+	}
+	// Push path (recursive, unencodable, unknown or excluded edge).
+	if a.save {
+		ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
+		s.push(t, st, sid, target)
+		st.id = markID
+		t.C.TcSaves++
+		t.C.InstrCost += machine.CostTcSave
+		return ck
+	}
+	s.push(t, st, sid, target)
+	st.id = markID
+	return machine.Cookie{Tag: tagPop}
+}
+
+func (s *Scheme) push(t *machine.Thread, st *tls, sid prog.SiteID, target prog.FuncID) {
+	st.cc = append(st.cc, core.CCEntry{ID: st.id, Site: sid, Target: target})
+	t.C.CCPush++
+	t.C.InstrCost += machine.CostCCPush
+	if len(st.cc) > t.C.MaxCCDepth {
+		t.C.MaxCCDepth = len(st.cc)
+	}
+}
+
+// epiStub is the shared epilogue, dispatching on the cookie tag.
+type epiStub struct{ s *Scheme }
+
+func (e *epiStub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	panic("pcce: epilogue stub used as prologue")
+}
+
+func (e *epiStub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	st := t.State.(*tls)
+	switch c.Tag {
+	case tagNone:
+	case tagEnc:
+		st.id -= c.A
+		t.C.InstrCost += machine.CostIDAdd
+	case tagPop:
+		n := len(st.cc)
+		if n == 0 {
+			panic("pcce: ccStack underflow on return")
+		}
+		st.id = st.cc[n-1].ID
+		st.cc = st.cc[:n-1]
+		t.C.CCPop++
+		t.C.InstrCost += machine.CostCCPop
+	case tagSave:
+		st.id = c.A
+		if int(c.B) > len(st.cc) {
+			panic("pcce: TcStack restore past ccStack top")
+		}
+		st.cc = st.cc[:c.B]
+		t.C.TcSaves++
+		t.C.InstrCost += machine.CostTcSave
+	default:
+		panic(fmt.Sprintf("pcce: unknown cookie tag %d", c.Tag))
+	}
+}
+
+// directStub instruments a direct, tail or PLT site.
+type directStub struct {
+	s      *Scheme
+	site   prog.SiteID
+	markID uint64
+	act    action
+}
+
+func (d *directStub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	st := t.State.(*tls)
+	return d.s.apply(t, st, d.site, target, d.act, d.markID), d.s.epi
+}
+
+func (d *directStub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	d.s.epi.Epilogue(t, site, target, c)
+}
+
+// pushStub always saves/restores: sites inside lazily loaded modules,
+// which the static encoder never saw.
+type pushStub struct {
+	s      *Scheme
+	site   prog.SiteID
+	markID uint64
+	save   bool
+}
+
+func (p *pushStub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	st := t.State.(*tls)
+	a := action{target: target, kind: actPush, save: p.save}
+	return p.s.apply(t, st, p.site, target, a, p.markID), p.s.epi
+}
+
+func (p *pushStub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	p.s.epi.Epilogue(t, site, target, c)
+}
+
+// inlineStub dispatches an indirect site through the compare chain over
+// its declared targets. Unknown targets (points-to misses, dlopened
+// callbacks) fall through to a ccStack save — and are counted, because
+// they are exactly what static encoding cannot handle.
+type inlineStub struct {
+	s      *Scheme
+	site   prog.SiteID
+	markID uint64
+	acts   []action
+}
+
+func (is *inlineStub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	st := t.State.(*tls)
+	for i := range is.acts {
+		t.C.Compares++
+		t.C.InstrCost += machine.CostCompare
+		if is.acts[i].target == target {
+			return is.s.apply(t, st, is.site, target, is.acts[i], is.markID), is.s.epi
+		}
+	}
+	is.s.mu.Lock()
+	is.s.unknownTargets++
+	is.s.mu.Unlock()
+	save := (is.s.tailContaining[target] || is.s.lazyFn[target]) && !site.Kind.IsTail()
+	a := action{target: target, kind: actPush, save: save}
+	return is.s.apply(t, st, is.site, target, a, is.markID), is.s.epi
+}
+
+func (is *inlineStub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+	is.s.epi.Epilogue(t, site, target, c)
+}

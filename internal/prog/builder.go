@@ -1,0 +1,172 @@
+package prog
+
+import "fmt"
+
+// Builder constructs Programs incrementally. It is not safe for concurrent
+// use. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	p       *Program
+	byName  map[string]FuncID
+	modByNm map[string]ModuleID
+	built   bool
+}
+
+// NewBuilder returns a Builder with a default eagerly loaded module
+// "main" already defined.
+func NewBuilder() *Builder {
+	b := &Builder{
+		p: &Program{
+			Entry: NoFunc,
+			PLT:   make(map[SiteID]FuncID),
+		},
+		byName:  make(map[string]FuncID),
+		modByNm: make(map[string]ModuleID),
+	}
+	b.Module("main", false)
+	return b
+}
+
+// Module defines (or returns) the module with the given name.
+func (b *Builder) Module(name string, lazy bool) ModuleID {
+	if id, ok := b.modByNm[name]; ok {
+		return id
+	}
+	id := ModuleID(len(b.p.Modules))
+	b.p.Modules = append(b.p.Modules, &Module{ID: id, Name: name, Lazy: lazy})
+	b.modByNm[name] = id
+	return id
+}
+
+// Func declares a function with an empty body in module "main".
+// Redeclaring a name panics: generated programs must be unambiguous.
+func (b *Builder) Func(name string) FuncID {
+	return b.FuncIn(name, b.modByNm["main"])
+}
+
+// FuncIn declares a function in the given module.
+func (b *Builder) FuncIn(name string, m ModuleID) FuncID {
+	if _, ok := b.byName[name]; ok {
+		panic(fmt.Sprintf("prog: duplicate function %q", name))
+	}
+	if int(m) < 0 || int(m) >= len(b.p.Modules) {
+		panic(fmt.Sprintf("prog: unknown module %d", m))
+	}
+	id := FuncID(len(b.p.Funcs))
+	b.p.Funcs = append(b.p.Funcs, &Function{ID: id, Name: name, Module: m})
+	b.p.Modules[m].Funcs = append(b.p.Modules[m].Funcs, id)
+	b.byName[name] = id
+	return id
+}
+
+// ID returns the id of a previously declared function; it panics on
+// unknown names so construction mistakes surface immediately.
+func (b *Builder) ID(name string) FuncID {
+	id, ok := b.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("prog: unknown function %q", name))
+	}
+	return id
+}
+
+func (b *Builder) addSite(s *Site) SiteID {
+	s.ID = SiteID(len(b.p.Sites))
+	f := b.p.Funcs[s.Caller]
+	s.Index = len(f.Sites)
+	b.p.Sites = append(b.p.Sites, s)
+	f.Sites = append(f.Sites, s.ID)
+	return s.ID
+}
+
+// CallSite adds a direct call site in caller targeting target.
+func (b *Builder) CallSite(caller, target FuncID) SiteID {
+	return b.addSite(&Site{Caller: caller, Kind: Normal, Target: target})
+}
+
+// TailSite adds a direct tail-call site.
+func (b *Builder) TailSite(caller, target FuncID) SiteID {
+	return b.addSite(&Site{Caller: caller, Kind: Tail, Target: target})
+}
+
+// IndirectSite adds an indirect call site. declared is the points-to
+// result visible to static tools (may include functions that never
+// execute).
+func (b *Builder) IndirectSite(caller FuncID, declared ...FuncID) SiteID {
+	return b.addSite(&Site{Caller: caller, Kind: Indirect, Target: NoFunc, Declared: declared})
+}
+
+// TailIndirectSite adds an indirect tail-call site.
+func (b *Builder) TailIndirectSite(caller FuncID, declared ...FuncID) SiteID {
+	return b.addSite(&Site{Caller: caller, Kind: TailIndirect, Target: NoFunc, Declared: declared})
+}
+
+// PLTSite adds a cross-module call through the PLT, resolved at run time
+// to target.
+func (b *Builder) PLTSite(caller, target FuncID) SiteID {
+	id := b.addSite(&Site{Caller: caller, Kind: PLT, Target: target})
+	b.p.PLT[id] = target
+	return id
+}
+
+// Body installs the body of a function.
+func (b *Builder) Body(f FuncID, body Body) { b.p.Funcs[f].Body = body }
+
+// Entry marks the entry function (conventionally "main").
+func (b *Builder) Entry(f FuncID) { b.p.Entry = f }
+
+// ThreadRoot marks a function as a thread start routine (an extra
+// call-graph root for encoders).
+func (b *Builder) ThreadRoot(f FuncID) {
+	b.p.ThreadRoots = append(b.p.ThreadRoots, f)
+}
+
+// Seq is a convenience that installs a body invoking each listed site
+// once, in order, as plain calls, with the given work between them.
+func (b *Builder) Seq(f FuncID, work int64, sites ...SiteID) {
+	b.Body(f, func(x Exec) {
+		x.Work(work)
+		for _, s := range sites {
+			x.Call(s, NoFunc)
+			x.Work(work)
+		}
+	})
+}
+
+// Leaf installs a body that only performs work.
+func (b *Builder) Leaf(f FuncID, work int64) {
+	b.Body(f, func(x Exec) { x.Work(work) })
+}
+
+// Build finalizes and validates the program. The builder must not be
+// reused afterwards.
+func (b *Builder) Build() (*Program, error) {
+	if b.built {
+		return nil, fmt.Errorf("prog: builder reused after Build")
+	}
+	b.built = true
+	if b.p.Entry == NoFunc {
+		if id, ok := b.byName["main"]; ok {
+			b.p.Entry = id
+		} else {
+			return nil, fmt.Errorf("prog: no entry function set and no function named main")
+		}
+	}
+	for _, f := range b.p.Funcs {
+		if f.Body == nil {
+			// Functions without explicit behaviour are leaves.
+			f.Body = func(Exec) {}
+		}
+	}
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return b.p, nil
+}
+
+// MustBuild is Build for tests and examples with known-good inputs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,184 @@
+package prog
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	mainF := b.Func("main")
+	lib := b.Module("libm.so", false)
+	plug := b.Module("plug.so", true)
+	f := b.FuncIn("f", lib)
+	g := b.FuncIn("g", plug)
+	h := b.Func("h")
+
+	s1 := b.CallSite(mainF, f)
+	s2 := b.TailSite(f, h)
+	s3 := b.IndirectSite(mainF, f, h)
+	s4 := b.PLTSite(mainF, g)
+	b.ThreadRoot(h)
+	b.Leaf(h, 1)
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != mainF {
+		t.Errorf("entry = %d, want main", p.Entry)
+	}
+	if p.NumFuncs() != 4 || p.NumSites() != 4 {
+		t.Errorf("got %d funcs %d sites", p.NumFuncs(), p.NumSites())
+	}
+	if p.Site(s1).Kind != Normal || p.Site(s2).Kind != Tail || p.Site(s3).Kind != Indirect || p.Site(s4).Kind != PLT {
+		t.Error("site kinds wrong")
+	}
+	if got := p.PLT[s4]; got != g {
+		t.Errorf("PLT resolution = %d, want %d", got, g)
+	}
+	if len(p.Site(s3).Declared) != 2 {
+		t.Errorf("declared targets = %v", p.Site(s3).Declared)
+	}
+	if len(p.ThreadRoots) != 1 || p.ThreadRoots[0] != h {
+		t.Errorf("thread roots = %v", p.ThreadRoots)
+	}
+	if p.FuncByName("g").Module != plug {
+		t.Error("module assignment lost")
+	}
+	if !p.Modules[plug].Lazy {
+		t.Error("lazy flag lost")
+	}
+	if b.ID("f") != f {
+		t.Error("ID lookup wrong")
+	}
+}
+
+func TestBuilderRejectsReuse(t *testing.T) {
+	b := NewBuilder()
+	b.Func("main")
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("builder reuse not rejected")
+	}
+}
+
+func TestBuilderNoEntry(t *testing.T) {
+	b := NewBuilder()
+	b.Func("notmain")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Fatalf("missing-entry error = %v", err)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Func("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate function name did not panic")
+		}
+	}()
+	b.Func("x")
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k        Kind
+		tail     bool
+		indirect bool
+		name     string
+	}{
+		{Normal, false, false, "normal"},
+		{Indirect, false, true, "indirect"},
+		{Tail, true, false, "tail"},
+		{TailIndirect, true, true, "tail-indirect"},
+		{PLT, false, false, "plt"},
+	}
+	for _, c := range cases {
+		if c.k.IsTail() != c.tail {
+			t.Errorf("%v.IsTail() = %v", c.k, c.k.IsTail())
+		}
+		if c.k.IsIndirect() != c.indirect {
+			t.Errorf("%v.IsIndirect() = %v", c.k, c.k.IsIndirect())
+		}
+		if c.k.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.k, c.k.String(), c.name)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Program {
+		b := NewBuilder()
+		mainF := b.Func("main")
+		f := b.Func("f")
+		b.CallSite(mainF, f)
+		return b.MustBuild()
+	}
+
+	p := mk()
+	p.Entry = 99
+	if err := p.Validate(); err == nil {
+		t.Error("bad entry not caught")
+	}
+
+	p = mk()
+	p.Sites[0].Target = 99
+	if err := p.Validate(); err == nil {
+		t.Error("bad target not caught")
+	}
+
+	p = mk()
+	p.Sites[0].Kind = Indirect
+	if err := p.Validate(); err == nil {
+		t.Error("indirect site with static target not caught")
+	}
+
+	p = mk()
+	p.Funcs[1].Body = nil
+	if err := p.Validate(); err == nil {
+		t.Error("missing body not caught")
+	}
+}
+
+func TestSeqAndLeafBodies(t *testing.T) {
+	b := NewBuilder()
+	mainF := b.Func("main")
+	f := b.Func("f")
+	g := b.Func("g")
+	s1 := b.CallSite(mainF, f)
+	s2 := b.CallSite(mainF, g)
+	b.Seq(mainF, 5, s1, s2)
+	b.Leaf(f, 3)
+	b.Leaf(g, 2)
+	p := b.MustBuild()
+
+	x := &fakeExec{}
+	p.Funcs[mainF].Body(x)
+	if x.work != 15 { // 5 before, 5 after each of two calls
+		t.Errorf("work = %d, want 15", x.work)
+	}
+	if len(x.calls) != 2 || x.calls[0] != s1 || x.calls[1] != s2 {
+		t.Errorf("calls = %v", x.calls)
+	}
+}
+
+// fakeExec is a minimal Exec for body unit tests.
+type fakeExec struct {
+	work  int64
+	calls []SiteID
+}
+
+func (f *fakeExec) Call(s SiteID, target FuncID)     { f.calls = append(f.calls, s) }
+func (f *fakeExec) TailCall(s SiteID, target FuncID) { f.calls = append(f.calls, s) }
+func (f *fakeExec) Work(units int64)                 { f.work += units }
+func (f *fakeExec) Spawn(entry FuncID)               {}
+func (f *fakeExec) Rand() *rand.Rand                 { return nil }
+func (f *fakeExec) Depth() int                       { return 0 }
+func (f *fakeExec) Caller() FuncID                   { return NoFunc }
+func (f *fakeExec) CallCount() int64                 { return int64(len(f.calls)) }
+func (f *fakeExec) SelfID() FuncID                   { return 0 }

@@ -1,0 +1,81 @@
+package progtest
+
+import (
+	"testing"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// TestScriptDrivesExactSequence confirms the fixture driver executes
+// the scripted call tree in order — everything the paper-example tests
+// rely on.
+func TestScriptDrivesExactSequence(t *testing.T) {
+	fx, b := Fig1()
+	p := b.MustBuild()
+	fx.P = p
+	sc := NewScript(p)
+	var order []prog.FuncID
+	hook := func(x prog.Exec) { order = append(order, x.SelfID()) }
+	sc.RootHook = hook
+	sc.Root = []Call{
+		{Site: fx.S("AB"), Target: prog.NoFunc, Hook: hook,
+			Sub: []Call{{Site: fx.S("BD"), Target: prog.NoFunc, Hook: hook}}},
+		{Site: fx.S("AC"), Target: prog.NoFunc, Hook: hook},
+	}
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	m := machine.New(p, machine.NullScheme{}, machine.Config{})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []prog.FuncID{fx.F("A"), fx.F("B"), fx.F("D"), fx.F("C")}
+	if len(order) != len(want) {
+		t.Fatalf("visit order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", order, want)
+		}
+	}
+	if rs.C.Calls != 3 {
+		t.Errorf("calls = %d, want 3", rs.C.Calls)
+	}
+}
+
+// TestFixtureLookupsPanicOnTypos keeps test fixtures loud.
+func TestFixtureLookupsPanicOnTypos(t *testing.T) {
+	fx, _ := Fig2()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown site name did not panic")
+		}
+	}()
+	fx.S("NOPE")
+}
+
+// TestAllFiguresBuild sanity-checks every paper-figure fixture.
+func TestAllFiguresBuild(t *testing.T) {
+	builders := []struct {
+		name string
+		mk   func() (*Fixture, *prog.Builder)
+	}{
+		{"Fig1", Fig1}, {"Fig2", Fig2}, {"Fig3", Fig3}, {"Fig5", Fig5}, {"Fig7", Fig7},
+	}
+	for _, tc := range builders {
+		fx, b := tc.mk()
+		p, err := b.Build()
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if fx.Fn["A"] != p.Entry {
+			t.Errorf("%s: entry is not A", tc.name)
+		}
+	}
+}

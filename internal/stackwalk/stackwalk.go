@@ -1,0 +1,67 @@
+// Package stackwalk implements the straightforward baseline the paper's
+// introduction argues against (§1, §7): no per-call instrumentation at
+// all, and every context request walks the stack at a per-frame cost —
+// cheap to arm, expensive to fire. Valgrind and HPCToolkit use this
+// strategy; the cross-validation module of §6.1 uses it as ground
+// truth, and so do this repository's tests.
+package stackwalk
+
+import (
+	"errors"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+)
+
+// Scheme is the stack-walking baseline.
+type Scheme struct{}
+
+// New returns a stack-walking scheme.
+func New() *Scheme { return &Scheme{} }
+
+// Name implements machine.Scheme.
+func (*Scheme) Name() string { return "stackwalk" }
+
+// Install implements machine.Scheme: no instrumentation.
+func (*Scheme) Install(m *machine.Machine) {}
+
+// ThreadStart implements machine.Scheme.
+func (s *Scheme) ThreadStart(t, parent *machine.Thread) {
+	if parent != nil {
+		t.SpawnCapture = s.Capture(parent)
+	}
+}
+
+// ThreadExit implements machine.Scheme.
+func (*Scheme) ThreadExit(t *machine.Thread) {}
+
+// Capture implements machine.Scheme: walk the hardware stack, paying
+// per frame. The walker sees the physical stack, so functions that
+// tail-called onward are absent — an inherent limitation of walking
+// (paper §5.2 is why encoding-based schemes must treat tails
+// specially).
+func (s *Scheme) Capture(t *machine.Thread) any {
+	frames := t.PhysicalStack()
+	t.C.InstrCost += int64(len(frames)) * machine.CostStackWalkFrame
+	ctx := make(core.Context, len(frames))
+	for i, f := range frames {
+		ctx[i] = core.ContextFrame{Site: f.Site, Fn: f.Fn}
+	}
+	if sc, ok := t.SpawnCapture.(core.Context); ok {
+		full := make(core.Context, 0, len(sc)+len(ctx))
+		full = append(full, sc...)
+		full = append(full, ctx...)
+		return full
+	}
+	return ctx
+}
+
+// Decode returns the walked context as-is: stack walking needs no
+// decoding, which is exactly why it is so expensive to *collect*.
+func (*Scheme) Decode(capture any) (core.Context, error) {
+	ctx, ok := capture.(core.Context)
+	if !ok {
+		return nil, errors.New("stackwalk: capture is not a walked context")
+	}
+	return ctx, nil
+}

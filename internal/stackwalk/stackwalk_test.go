@@ -1,0 +1,109 @@
+package stackwalk
+
+import (
+	"testing"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/progtest"
+)
+
+func TestWalkMatchesShadow(t *testing.T) {
+	fx, b := progtest.Fig1()
+	p := b.MustBuild()
+	fx.P = p
+	sc := progtest.NewScript(p)
+	sc.Root = []progtest.Call{
+		progtest.By(fx.S("AB"), progtest.By(fx.S("BD"), progtest.By(fx.S("DE")))),
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"), progtest.By(fx.S("DF")))),
+	}
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	s := New()
+	m := machine.New(p, s, machine.Config{SampleEvery: 1})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.C.InstrCost == 0 {
+		t.Error("walking charged nothing")
+	}
+	for _, sm := range rs.Samples {
+		ctx, err := s.Decode(sm.Capture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := core.ShadowContext(nil, sm.Shadow); !ctx.Equal(want) {
+			t.Errorf("walk %v != shadow %v", ctx, want)
+		}
+	}
+}
+
+func TestWalkMissesTailCallers(t *testing.T) {
+	fx, b := progtest.Fig7()
+	p := b.MustBuild()
+	fx.P = p
+	var walked core.Context
+	s := New()
+	sc := progtest.NewScript(p)
+	sc.Root = []progtest.Call{
+		progtest.By(fx.S("AC"), progtest.By(fx.S("CD"),
+			progtest.Call{Site: fx.S("DF"), Target: prog.NoFunc, Hook: func(x prog.Exec) {
+				c, err := s.Decode(s.Capture(x.(*machine.Thread)))
+				if err != nil {
+					t.Error(err)
+				}
+				walked = c
+			}})),
+	}
+	for _, f := range p.Funcs {
+		f.Body = sc.Body()
+	}
+	m := machine.New(p, s, machine.Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The true call path is A→C→D→F, but C's frame was replaced by the
+	// tail call: the walker sees A→D→F. This inherent blind spot is why
+	// encoding schemes must instrument tails instead (paper §5.2).
+	if len(walked) != 3 || walked[0].Fn != fx.F("A") || walked[1].Fn != fx.F("D") || walked[2].Fn != fx.F("F") {
+		t.Errorf("walked %v, want A→D→F", walked)
+	}
+}
+
+func TestWalkCostScalesWithDepth(t *testing.T) {
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	f := b.Func("f")
+	mf := b.CallSite(mainF, f)
+	ff := b.CallSite(f, f)
+	s := New()
+	var shallow, deep int64
+	b.Body(mainF, func(x prog.Exec) {
+		th := x.(*machine.Thread)
+		before := th.C.InstrCost
+		s.Capture(th)
+		shallow = th.C.InstrCost - before
+		x.Call(mf, prog.NoFunc)
+	})
+	b.Body(f, func(x prog.Exec) {
+		if x.Depth() < 30 {
+			x.Call(ff, prog.NoFunc)
+			return
+		}
+		th := x.(*machine.Thread)
+		before := th.C.InstrCost
+		s.Capture(th)
+		deep = th.C.InstrCost - before
+	})
+	p := b.MustBuild()
+	m := machine.New(p, s, machine.Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deep <= shallow*10 {
+		t.Errorf("deep walk cost %d not much larger than shallow %d", deep, shallow)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	// A zero must not zero the whole mean (clamped to eps).
+	if got := GeoMean([]float64{0, 4}); got <= 0 {
+		t.Errorf("GeoMean with zero = %v, want > 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist()
+	for _, v := range []int{0, 0, 1, 2, 2, 2, 5} {
+		h.Add(v)
+	}
+	if h.Total() != 7 || h.Min() != 0 || h.Max() != 5 {
+		t.Fatalf("total/min/max = %d/%d/%d", h.Total(), h.Min(), h.Max())
+	}
+	if got := h.CDFAt(0); math.Abs(got-2.0/7) > 1e-9 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := h.CDFAt(2); math.Abs(got-6.0/7) > 1e-9 {
+		t.Errorf("CDF(2) = %v", got)
+	}
+	if got := h.CDFAt(5); got != 1 {
+		t.Errorf("CDF(max) = %v, want 1", got)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("median = %d, want 2", got)
+	}
+	if got := h.Mean(); math.Abs(got-12.0/7) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	vals, frac := h.CDF()
+	if len(vals) != 4 || frac[len(frac)-1] != 1 {
+		t.Errorf("CDF series = %v %v", vals, frac)
+	}
+}
+
+func TestHistCDFMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := NewHist()
+		for _, v := range raw {
+			h.Add(int(v % 64))
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		_, frac := h.CDF()
+		for i := 1; i < len(frac); i++ {
+			if frac[i] < frac[i-1] {
+				return false
+			}
+		}
+		return frac[len(frac)-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistQuantileWithinSupport(t *testing.T) {
+	f := func(raw []uint8, q float64) bool {
+		h := NewHist()
+		for _, v := range raw {
+			h.Add(int(v % 100))
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		q = math.Abs(q)
+		q -= math.Floor(q)
+		v := h.Quantile(q)
+		return v >= h.Min() && v <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	depths, frac := h.CDFSeries(11)
+	if len(depths) != 11 || depths[0] != 0 || depths[10] != 99 {
+		t.Fatalf("depths = %v", depths)
+	}
+	if frac[10] != 1 {
+		t.Errorf("final fraction = %v", frac[10])
+	}
+}
+
+func TestSciNotation(t *testing.T) {
+	cases := []struct {
+		v        uint64
+		overflow bool
+		want     string
+	}{
+		{42, false, "42"},
+		{999999, false, "999999"},
+		{140_000_000_000, false, "1.4E+11"},
+		{0, true, "overflow"},
+	}
+	for _, c := range cases {
+		if got := SciNotation(c.v, c.overflow); got != c.want {
+			t.Errorf("SciNotation(%d,%v) = %q, want %q", c.v, c.overflow, got, c.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.0213); got != "2.1%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", "1")
+	tb.Row("b", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	// Numbers right-aligned: "1" should end both data lines' value col.
+	if !strings.HasSuffix(lines[2], "1") || !strings.HasSuffix(lines[3], "22") {
+		t.Errorf("alignment wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("x", "y")
+	s.Add(1, 0.5)
+	s.Add(2, 1)
+	out := s.String()
+	want := "x\ty\n1\t0.5\n2\t1\n"
+	if out != want {
+		t.Errorf("series = %q, want %q", out, want)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,573 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// generator builds one workload. All structural randomness comes from
+// its single seeded stream, so generation is deterministic.
+type generator struct {
+	prof Profile
+	rng  *rand.Rand
+	b    *prog.Builder
+
+	w       *Workload
+	exec    []*fnInfo // executed core functions (excludes main/workers)
+	byLayer [][]*fnInfo
+	cold    []prog.FuncID
+	main    *fnInfo
+	wrk     []*fnInfo
+}
+
+func (g *generator) generate() (*Workload, error) {
+	pr := g.prof
+	g.w = &Workload{Prof: pr}
+
+	g.makeModulesAndFuncs()
+	g.makeExecutedSites()
+	g.makeColdSites()
+	g.assignWeights()
+	g.installBodies()
+
+	p, err := g.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.w.P = p
+	g.w.budgetPerThrd = pr.TotalCalls / int64(pr.Threads)
+	g.w.workPerCall = int64(machine.NominalHz/pr.CallsPerSec) - machine.CostCallDispatch
+	if g.w.workPerCall < 1 {
+		g.w.workPerCall = 1
+	}
+	g.w.phaseLen = g.w.budgetPerThrd / int64(pr.Phases)
+	for _, f := range g.w.fns {
+		if f != nil {
+			f.work = g.w.workPerCall
+		}
+	}
+	return g.w, nil
+}
+
+// makeModulesAndFuncs creates modules and declares every function:
+// main, worker entries, the executed core (layered), and the cold
+// remainder.
+func (g *generator) makeModulesAndFuncs() {
+	pr := g.prof
+	libEager := g.b.Module("libshared.so", false)
+	var lazyMods []prog.ModuleID
+	for i := 0; i < pr.LazyModules; i++ {
+		lazyMods = append(lazyMods, g.b.Module(fmt.Sprintf("plugin%d.so", i), true))
+	}
+
+	g.w.fns = make([]*fnInfo, 0, pr.StaticFuncs+pr.Threads)
+	addFn := func(id prog.FuncID, layer int) *fnInfo {
+		for int(id) >= len(g.w.fns) {
+			g.w.fns = append(g.w.fns, nil)
+		}
+		fi := &fnInfo{id: id, layer: layer}
+		g.w.fns[id] = fi
+		return fi
+	}
+
+	g.main = addFn(g.b.Func("main"), 0)
+	g.main.isRoot = true
+	for i := 1; i < pr.Threads; i++ {
+		fi := addFn(g.b.Func(fmt.Sprintf("worker%d", i)), 0)
+		g.b.ThreadRoot(fi.id)
+		fi.isRoot = true
+		g.wrk = append(g.wrk, fi)
+		g.w.workers = append(g.w.workers, fi.id)
+	}
+
+	nCore := pr.ExecFuncs - 1 - (pr.Threads - 1)
+	if nCore < pr.Layers {
+		nCore = pr.Layers
+	}
+	nLazy := pr.LazyFuncs
+	g.byLayer = make([][]*fnInfo, pr.Layers+1)
+	for i := 0; i < nCore; i++ {
+		layer := 1 + i%pr.Layers // every layer populated
+		if i >= pr.Layers {
+			layer = 1 + g.rng.IntN(pr.Layers)
+		}
+		mod := prog.ModuleID(0)
+		switch {
+		case nLazy > 0 && layer >= pr.Layers/2 && len(lazyMods) > 0:
+			mod = lazyMods[g.rng.IntN(len(lazyMods))]
+			nLazy--
+		case g.rng.Float64() < 0.15:
+			mod = libEager
+		}
+		id := g.b.FuncIn(fmt.Sprintf("f%d_l%d", i, layer), mod)
+		fi := addFn(id, layer)
+		g.exec = append(g.exec, fi)
+		g.byLayer[layer] = append(g.byLayer[layer], fi)
+	}
+
+	nCold := pr.StaticFuncs - pr.ExecFuncs
+	for i := 0; i < nCold; i++ {
+		mod := prog.ModuleID(0)
+		if g.rng.Float64() < 0.2 {
+			mod = libEager
+		}
+		id := g.b.FuncIn(fmt.Sprintf("cold%d", i), mod)
+		g.cold = append(g.cold, id)
+		g.b.Leaf(id, 1)
+	}
+}
+
+// pickLower returns a random executed function at a layer in [1, below).
+func (g *generator) pickLower(below int) *fnInfo {
+	if below < 2 {
+		below = 2
+	}
+	if below > g.prof.Layers+1 {
+		below = g.prof.Layers + 1
+	}
+	for tries := 0; tries < 64; tries++ {
+		l := 1 + g.rng.IntN(below-1)
+		if cands := g.byLayer[l]; len(cands) > 0 {
+			return cands[g.rng.IntN(len(cands))]
+		}
+	}
+	return g.byLayer[1][0]
+}
+
+// pickAtLeast returns a random executed function at layer ≥ from.
+func (g *generator) pickAtLeast(from int) *fnInfo {
+	for tries := 0; tries < 64; tries++ {
+		l := from + g.rng.IntN(g.prof.Layers-from+1)
+		if l > g.prof.Layers {
+			l = g.prof.Layers
+		}
+		if cands := g.byLayer[l]; len(cands) > 0 {
+			return cands[g.rng.IntN(len(cands))]
+		}
+	}
+	return g.byLayer[g.prof.Layers][0]
+}
+
+// site helpers attach driver info.
+func (g *generator) addSite(f *fnInfo, id prog.SiteID, class siteClass) *siteInfo {
+	si := &siteInfo{id: id, class: class}
+	f.sites = append(f.sites, si)
+	return si
+}
+
+// makeExecutedSites builds the call sites the run actually exercises.
+func (g *generator) makeExecutedSites() {
+	pr := g.prof
+
+	// Roots: main and each worker call into every layer-1 function, so
+	// the whole executed core is reachable.
+	for _, root := range append([]*fnInfo{g.main}, g.wrk...) {
+		for _, tgt := range g.byLayer[1] {
+			g.addSite(root, g.b.CallSite(root.id, tgt.id), clDirect)
+		}
+	}
+
+	// Connectivity: every core function gets one in-edge from a lower
+	// layer (layer-1 functions are reached from the roots above).
+	for _, fi := range g.exec {
+		if fi.layer <= 1 {
+			continue
+		}
+		caller := g.pickLower(fi.layer)
+		g.addSite(caller, g.b.CallSite(caller.id, fi.id), clDirect)
+	}
+
+	// Remaining direct edges up to the executed budget.
+	directBudget := pr.ExecEdges - pr.IndirectSites*pr.ActualTargets - pr.RecSites - pr.TailSites
+	have := 0
+	for _, f := range g.w.fns {
+		if f != nil {
+			have += len(f.sites)
+		}
+	}
+	for have < directBudget {
+		caller := g.pickLower(pr.Layers) // layer 1..Layers-1
+		if caller.layer >= pr.Layers {
+			continue
+		}
+		tgt := g.pickAtLeast(caller.layer + 1)
+		g.addSite(caller, g.b.CallSite(caller.id, tgt.id), clDirect)
+		have++
+	}
+
+	// Tail calls: strictly forward so the body can emit them last.
+	for i := 0; i < pr.TailSites; i++ {
+		caller := g.pickLower(pr.Layers)
+		if caller.layer >= pr.Layers {
+			continue
+		}
+		tgt := g.pickAtLeast(caller.layer + 1)
+		g.addSite(caller, g.b.TailSite(caller.id, tgt.id), clTail)
+	}
+
+	// Recursion: back edges to the same or a lower layer. A fraction is
+	// direct self-recursion, which produces the immediately repetitive
+	// ccStack patterns that compression targets (Fig. 5e).
+	for i := 0; i < pr.RecSites; i++ {
+		caller := g.pickAtLeast(2)
+		tgt := caller
+		if g.rng.Float64() >= pr.SelfRecFrac {
+			tgt = g.pickLower(caller.layer + 1)
+		}
+		si := g.addSite(caller, g.b.CallSite(caller.id, tgt.id), clRec)
+		si.selfRec = tgt == caller
+	}
+
+	// Indirect sites with actual + declared-only targets. Hot-indirect
+	// programs (perlbench's opcode dispatch, x264's codec function
+	// pointers) make these calls from their inner loops, i.e. from
+	// frequently visited low-layer functions.
+	for i := 0; i < pr.IndirectSites; i++ {
+		var caller *fnInfo
+		if pr.HotIndirect {
+			// Deep layers carry most of the call volume in a branching
+			// tree; inner-loop dispatch lives there.
+			caller = g.pickAtLeast(pr.Layers - 2)
+			for tries := 0; caller.layer >= pr.Layers && tries < 16; tries++ {
+				caller = g.pickAtLeast(pr.Layers - 2)
+			}
+		} else {
+			caller = g.pickLower(pr.Layers)
+		}
+		if caller.layer >= pr.Layers {
+			continue
+		}
+		seen := map[prog.FuncID]bool{}
+		var actual []prog.FuncID
+		// Bounded draws: the layers above the caller may hold fewer
+		// distinct functions than ActualTargets requests.
+		for tries := 0; len(actual) < pr.ActualTargets && tries < 32*pr.ActualTargets; tries++ {
+			tgt := g.pickAtLeast(caller.layer + 1)
+			if seen[tgt.id] {
+				continue
+			}
+			seen[tgt.id] = true
+			actual = append(actual, tgt.id)
+		}
+		declared := append([]prog.FuncID(nil), actual...)
+		for len(declared) < pr.DeclaredTargets && len(g.cold) > 0 {
+			declared = append(declared, g.cold[g.rng.IntN(len(g.cold))])
+		}
+		si := g.addSite(caller, g.b.IndirectSite(caller.id, declared...), clIndirect)
+		si.targets = actual
+		if pr.HotIndirect {
+			// Inner-loop dispatch: each visit performs a burst of
+			// indirect calls, as codec/interpreter loops do.
+			si.repeat = 12
+		}
+	}
+}
+
+// makeColdSites adds the static-only structure: cold out-edges from
+// executed functions, edges among cold functions, and backward cold
+// edges that close static-only cycles (the false back edges that hurt
+// PCCE, paper §6.4).
+func (g *generator) makeColdSites() {
+	pr := g.prof
+	staticNow := 0
+	// Count static edges so far: direct/tail/rec sites are one edge
+	// each; indirect sites contribute their declared count.
+	for _, f := range g.w.fns {
+		if f == nil {
+			continue
+		}
+		for _, si := range f.sites {
+			if si.class == clIndirect {
+				staticNow += pr.DeclaredTargets
+			} else {
+				staticNow++
+			}
+		}
+	}
+	coldBudget := pr.StaticEdges - staticNow
+	if len(g.cold) == 0 || coldBudget <= 0 {
+		return
+	}
+	// The cold world is layered like real call graphs: edges flow down
+	// the layers, so static path counts grow polynomially with depth
+	// (in-degree^layers) rather than exploding the way a random DAG
+	// would. Cold functions never call back into the hot executed core
+	// except through the explicit cycle-closing edges below.
+	coldLayers := pr.Layers
+	coldLayer := make(map[prog.FuncID]int, len(g.cold))
+	byColdLayer := make([][]prog.FuncID, coldLayers+1)
+	for i, id := range g.cold {
+		l := 1 + i%coldLayers
+		coldLayer[id] = l
+		byColdLayer[l] = append(byColdLayer[l], id)
+	}
+	pickColdBelow := func(above int) (prog.FuncID, bool) {
+		for tries := 0; tries < 16; tries++ {
+			l := above + 1 + g.rng.IntN(coldLayers-above)
+			if cands := byColdLayer[l]; len(cands) > 0 {
+				return cands[g.rng.IntN(len(cands))], true
+			}
+		}
+		return 0, false
+	}
+	retries := 0
+	for i := 0; i < coldBudget; i++ {
+		switch r := g.rng.Float64(); {
+		case r < 0.30:
+			// Cold out-edge from an executed function; the body skips it.
+			caller := g.exec[g.rng.IntN(len(g.exec))]
+			if tgt, ok := pickColdBelow(0); ok {
+				g.addSite(caller, g.b.CallSite(caller.id, tgt), clCold)
+			}
+		case r < 0.38 && pr.ColdCycles:
+			// Backward cold edge: closes a cycle only the static graph
+			// sees. From a cold function into a low executed layer.
+			caller := g.cold[g.rng.IntN(len(g.cold))]
+			tgt := g.pickLower(2)
+			g.b.CallSite(caller, tgt.id)
+		default:
+			// Cold-to-cold structure, strictly layer-increasing.
+			caller := g.cold[g.rng.IntN(len(g.cold))]
+			l := coldLayer[caller]
+			if l >= coldLayers {
+				if retries++; retries < 4*coldBudget {
+					i--
+				}
+				continue
+			}
+			if tgt, ok := pickColdBelow(l); ok {
+				g.b.CallSite(caller, tgt)
+			}
+		}
+	}
+}
+
+// assignWeights computes per-phase invocation probabilities and
+// indirect-target distributions.
+func (g *generator) assignWeights() {
+	pr := g.prof
+	for _, f := range g.w.fns {
+		if f == nil {
+			continue
+		}
+		for ph := 0; ph < pr.Phases; ph++ {
+			var sum float64
+			ws := make([]float64, len(f.sites))
+			for i, si := range f.sites {
+				if si.class == clCold {
+					continue
+				}
+				if si.class == clRec {
+					continue // recursion probability is flat
+				}
+				ws[i] = zipfWeight(u01(pr.Seed, uint64(si.id), uint64(ph), 1), pr.HotSkew)
+				sum += ws[i]
+			}
+			for i, si := range f.sites {
+				switch si.class {
+				case clCold:
+					continue
+				case clRec:
+					if ph == 0 {
+						si.pPhase = make([]float64, pr.Phases)
+					}
+					si.pPhase[ph] = pr.RecStartProb
+				default:
+					if ph == 0 {
+						si.pPhase = make([]float64, pr.Phases)
+					}
+					p := 0.0
+					if sum > 0 {
+						p = pr.Branch * ws[i] / sum
+					}
+					if pr.HotIndirect && si.class == clIndirect && p < 0.55 {
+						p = 0.55
+					}
+					// Every live site keeps a small floor probability:
+					// real cold paths still execute occasionally, so the
+					// call graph is discovered early rather than one
+					// phase at a time.
+					if p < 0.004 {
+						p = 0.004
+					}
+					if p > 0.97 {
+						p = 0.97
+					}
+					si.pPhase[ph] = p
+				}
+			}
+		}
+	}
+	// Indirect target choice: cumulative per-phase weights.
+	for _, f := range g.w.fns {
+		if f == nil {
+			continue
+		}
+		for _, si := range f.sites {
+			if si.class != clIndirect || len(si.targets) == 0 {
+				continue
+			}
+			// Hot-indirect programs spread dispatch across many live
+			// targets (the paper's x264 observation); others concentrate.
+			tskew := pr.HotSkew
+			if pr.HotIndirect {
+				tskew = 0.8
+			}
+			si.tCum = make([][]float64, pr.Phases)
+			for ph := 0; ph < pr.Phases; ph++ {
+				cum := make([]float64, len(si.targets))
+				acc := 0.0
+				for i, tgt := range si.targets {
+					acc += zipfWeight(u01(pr.Seed, uint64(si.id), uint64(ph), uint64(tgt)+2), tskew)
+					cum[i] = acc
+				}
+				si.tCum[ph] = cum
+			}
+		}
+	}
+}
+
+// installBodies wires the driver bodies.
+func (g *generator) installBodies() {
+	for _, f := range g.w.fns {
+		if f == nil {
+			continue
+		}
+		g.b.Body(f.id, g.w.bodyFor(f))
+	}
+}
+
+// bodyFor returns the runtime driver of one function.
+func (w *Workload) bodyFor(f *fnInfo) prog.Body {
+	if f.isRoot {
+		return func(x prog.Exec) {
+			if f.id == w.P.Entry {
+				for _, wk := range w.workers {
+					x.Spawn(wk)
+				}
+			}
+			for x.CallCount() < w.budgetPerThrd {
+				before := x.CallCount()
+				w.runSites(f, x)
+				if x.CallCount() == before {
+					// Nothing fired this round (improbable weights);
+					// force progress through the first site.
+					if len(f.sites) > 0 {
+						w.invoke(f.sites[0], x)
+					} else {
+						return
+					}
+				}
+			}
+		}
+	}
+	return func(x prog.Exec) {
+		x.Work(f.work)
+		if x.CallCount() >= w.budgetPerThrd {
+			return
+		}
+		w.runSites(f, x)
+	}
+}
+
+// runSites walks a function's sites, invoking each according to its
+// phase weight; a tail site fires last, as real tail calls do. During
+// the first few percent of the budget every site gets a probability
+// boost: real programs touch most of their code paths during
+// initialization and the first iterations of their main loop, so call
+// graph discovery concentrates in the warm-up.
+func (w *Workload) runSites(f *fnInfo, x prog.Exec) {
+	ph := w.phaseOf(x.CallCount())
+	discovery := x.CallCount() < w.budgetPerThrd/20
+	rng := x.Rand()
+	var tail *siteInfo
+	recFired := false
+	for _, si := range f.sites {
+		switch si.class {
+		case clCold:
+			continue
+		case clTail:
+			if tail == nil && rng.Float64() < si.pPhase[ph] {
+				tail = si
+			}
+		case clRec:
+			// Chains start rarely and continue geometrically: a visit
+			// that was itself entered recursively keeps recursing with
+			// RecProb, so chain lengths follow Table 1's depth column.
+			// At most one recursive call per visit keeps the chain a
+			// chain instead of an exponential tree.
+			if recFired {
+				continue
+			}
+			p := si.pPhase[ph]
+			if si.selfRec && x.Caller() == x.SelfID() {
+				p = w.Prof.RecProb
+			}
+			if x.Depth() < w.Prof.MaxDepth && rng.Float64() < p {
+				recFired = true
+				x.Call(si.id, prog.NoFunc)
+			}
+		case clIndirect:
+			if len(si.targets) > 0 && rng.Float64() < boost(si.pPhase[ph], discovery) {
+				n := si.repeat
+				if n == 0 {
+					n = 1
+				}
+				for k := 0; k < n; k++ {
+					tgt := w.pickTarget(si, ph, rng)
+					if discovery {
+						tgt = si.targets[rng.IntN(len(si.targets))]
+					}
+					x.Call(si.id, tgt)
+				}
+			}
+		default:
+			if rng.Float64() < boost(si.pPhase[ph], discovery) {
+				x.Call(si.id, prog.NoFunc)
+			}
+		}
+	}
+	if tail != nil && x.Depth() < w.Prof.MaxDepth+w.Prof.Layers {
+		x.TailCall(tail.id, prog.NoFunc)
+	}
+}
+
+// boost floors a site probability during the discovery burst.
+func boost(p float64, discovery bool) float64 {
+	if discovery && p < 0.3 {
+		return 0.3
+	}
+	return p
+}
+
+// invoke fires one site unconditionally (root progress guarantee).
+func (w *Workload) invoke(si *siteInfo, x prog.Exec) {
+	switch si.class {
+	case clCold:
+		return
+	case clTail:
+		x.TailCall(si.id, prog.NoFunc)
+	case clIndirect:
+		if len(si.targets) == 0 {
+			return
+		}
+		x.Call(si.id, si.targets[0])
+	default:
+		x.Call(si.id, prog.NoFunc)
+	}
+}
+
+// pickTarget samples an indirect target from the phase distribution.
+func (w *Workload) pickTarget(si *siteInfo, ph int, rng *rand.Rand) prog.FuncID {
+	cum := si.tCum[ph]
+	r := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if r <= c {
+			return si.targets[i]
+		}
+	}
+	return si.targets[len(si.targets)-1]
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteProfiles serializes profiles as JSON, the format LoadProfiles
+// reads. Users can dump the built-in Table 1 profiles, tweak the knobs,
+// and run the experiment harness on their own workload definitions.
+func WriteProfiles(w io.Writer, profiles []Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profiles)
+}
+
+// LoadProfiles reads a JSON profile list and validates each entry.
+func LoadProfiles(r io.Reader) ([]Profile, error) {
+	var out []Profile
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("workload: parsing profiles: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: no profiles in input")
+	}
+	for i := range out {
+		if err := validateProfile(&out[i]); err != nil {
+			return nil, fmt.Errorf("workload: profile %d (%q): %w", i, out[i].Name, err)
+		}
+	}
+	return out, nil
+}
+
+// LoadProfilesFile reads profiles from a file path.
+func LoadProfilesFile(path string) ([]Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadProfiles(f)
+}
+
+// validateProfile rejects values the generator cannot honour before
+// fill() papers over them.
+func validateProfile(p *Profile) error {
+	if p.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if p.StaticFuncs < 0 || p.ExecFuncs < 0 || p.StaticEdges < 0 || p.ExecEdges < 0 {
+		return fmt.Errorf("negative graph sizes")
+	}
+	if p.Layers < 0 || p.Layers > 64 {
+		return fmt.Errorf("layers %d out of range [0, 64]", p.Layers)
+	}
+	if p.Threads < 0 || p.Threads > 256 {
+		return fmt.Errorf("threads %d out of range [0, 256]", p.Threads)
+	}
+	if p.RecProb < 0 || p.RecProb > 1 || p.RecStartProb < 0 || p.RecStartProb > 1 ||
+		p.SelfRecFrac < 0 || p.SelfRecFrac > 1 {
+		return fmt.Errorf("probabilities must be in [0, 1]")
+	}
+	if p.TotalCalls < 0 {
+		return fmt.Errorf("negative call budget")
+	}
+	if p.CallsPerSec < 0 {
+		return fmt.Errorf("negative call rate")
+	}
+	if p.DeclaredTargets < 0 || p.ActualTargets < 0 || p.IndirectSites < 0 ||
+		p.RecSites < 0 || p.TailSites < 0 || p.LazyModules < 0 || p.LazyFuncs < 0 {
+		return fmt.Errorf("negative site counts")
+	}
+	return nil
+}

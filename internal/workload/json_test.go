@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfilesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, Profiles()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profiles()
+	if len(got) != len(want) {
+		t.Fatalf("roundtrip: %d profiles, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("profile %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadProfilesRejects(t *testing.T) {
+	cases := []string{
+		``,
+		`[]`,
+		`[{"Name":""}]`,
+		`[{"Name":"x","Layers":99}]`,
+		`[{"Name":"x","Threads":-1}]`,
+		`[{"Name":"x","RecProb":1.5}]`,
+		`[{"Name":"x","TotalCalls":-5}]`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := LoadProfiles(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestLoadedProfileBuilds(t *testing.T) {
+	in := `[{"Name":"custom","Suite":"SPECint","Seed":7,"StaticFuncs":80,"StaticEdges":300,
+	        "ExecFuncs":40,"ExecEdges":90,"RecSites":3,"RecProb":0.4,"RecStartProb":0.05,
+	        "TotalCalls":5000,"CallsPerSec":1e6}]`
+	ps, err := LoadProfiles(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Build(ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.P.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"sync"
+
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// profiler is the offline profiling pass granted to PCCE (paper §6.1:
+// "We first use Pin to profile the targets of indirect calls and the
+// invocation frequency of all edges with the same input as in real
+// runs"). It counts every (site, target) invocation and charges no
+// model cost — profiling happens before the measured run.
+type profiler struct {
+	mu  sync.Mutex
+	all map[graph.EdgeKey]int64
+}
+
+type profTLS struct {
+	counts map[graph.EdgeKey]int64
+}
+
+func newProfiler() *profiler {
+	return &profiler{all: make(map[graph.EdgeKey]int64)}
+}
+
+// Name implements machine.Scheme.
+func (*profiler) Name() string { return "profiler" }
+
+// Install implements machine.Scheme.
+func (p *profiler) Install(m *machine.Machine) {
+	st := &profStub{p: p}
+	for i := 0; i < m.Program().NumSites(); i++ {
+		m.SetStub(prog.SiteID(i), st)
+	}
+}
+
+// ThreadStart implements machine.Scheme.
+func (p *profiler) ThreadStart(t, parent *machine.Thread) {
+	t.State = &profTLS{counts: make(map[graph.EdgeKey]int64)}
+}
+
+// ThreadExit implements machine.Scheme: merge the thread's counts.
+func (p *profiler) ThreadExit(t *machine.Thread) {
+	st := t.State.(*profTLS)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range st.counts {
+		p.all[k] += v
+	}
+}
+
+// Capture implements machine.Scheme.
+func (*profiler) Capture(t *machine.Thread) any { return nil }
+
+func (p *profiler) counts() map[graph.EdgeKey]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[graph.EdgeKey]int64, len(p.all))
+	for k, v := range p.all {
+		out[k] = v
+	}
+	return out
+}
+
+type profStub struct{ p *profiler }
+
+func (s *profStub) Prologue(t *machine.Thread, site *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	st := t.State.(*profTLS)
+	st.counts[graph.EdgeKey{Site: site.ID, Target: target}]++
+	return machine.Cookie{}, s
+}
+
+func (*profStub) Epilogue(t *machine.Thread, site *prog.Site, target prog.FuncID, c machine.Cookie) {
+}

@@ -1,0 +1,246 @@
+package workload
+
+// The benchmark profiles are calibrated from the paper's Table 1: the
+// static graph size comes from the PCCE Nodes/Edges columns, the
+// executed core from the DACCE columns, the per-call application work
+// from the calls/s column, the recursion intensity from ccStack/s and
+// the average ccStack depth, and the phase count from the number of
+// re-encodings (gTS). Indirect-call shape follows the paper's prose:
+// 400.perlbench, 445.gobmk and x264 have indirect calls with many
+// targets (§3.2, §6.4); the OO benchmarks (xalancbmk, omnetpp, dealII,
+// povray) are indirect-heavy; perlbench and several Parsec apps load
+// plugins dynamically.
+
+// row is one Table 1 line, transcribed.
+type row struct {
+	name           string
+	suite          Suite
+	sNodes, sEdges int     // PCCE static graph
+	dNodes, dEdges int     // DACCE dynamic graph
+	pcceCC         float64 // PCCE ccStack/s
+	ccPerSec       float64 // DACCE ccStack/s
+	depth          float64 // DACCE avg ccStack depth
+	callsPerSec    float64
+	gts            int // re-encodings
+	bigTargets     bool
+	indirectHeavy  bool
+	lazy           int
+	threads        int
+}
+
+var table1 = []row{
+	{"400.perlbench", SPECint, 1468, 21065, 684, 3911, 4969345, 3095100, 0.20, 29205101, 23, true, true, 2, 1},
+	{"401.bzip2", SPECint, 122, 321, 50, 109, 0, 38753, 0.05, 7687097, 5, false, false, 0, 1},
+	{"403.gcc", SPECint, 3944, 50690, 1931, 11518, 0, 315406, 0.00, 14710894, 110, false, true, 0, 1},
+	{"429.mcf", SPECint, 69, 126, 11, 12, 0, 2069, 0.01, 295581, 2, false, false, 0, 1},
+	{"445.gobmk", SPECint, 2273, 13687, 1378, 4808, 246782, 250321, 2.47, 13355556, 76, true, false, 0, 1},
+	{"456.hmmer", SPECint, 249, 1618, 70, 174, 3082, 481, 0.02, 1872530, 2, false, false, 0, 1},
+	{"458.sjeng", SPECint, 139, 678, 54, 232, 0, 233, 0.00, 18248384, 23, false, false, 0, 1},
+	{"462.libquantum", SPECint, 118, 846, 29, 49, 0, 1, 0.01, 44, 9, false, false, 0, 1},
+	{"464.h264ref", SPECint, 398, 2698, 201, 1048, 424979, 5310, 0.00, 7080183, 10, false, false, 0, 1},
+	{"471.omnetpp", SPECint, 1706, 11981, 506, 4135, 302097, 149146, 0.04, 11656043, 11, false, true, 0, 1},
+	{"473.astar", SPECint, 139, 469, 60, 140, 0, 10606, 0.03, 129559, 10, false, false, 0, 1},
+	{"483.xalancbmk", SPECint, 12535, 40392, 2170, 7321, 4375862, 596197, 6.01, 25341805, 27, false, true, 0, 1},
+	{"410.bwaves", SPECfp, 369, 2189, 82, 164, 0, 2639, 0.01, 263845, 6, false, false, 0, 1},
+	{"416.gamess", SPECfp, 2442, 50080, 362, 2017, 0, 21925, 0.03, 3390329, 19, false, false, 0, 1},
+	{"433.milc", SPECfp, 177, 667, 57, 185, 0, 46156, 0.09, 380448, 38, false, false, 0, 1},
+	{"434.zeusmp", SPECfp, 416, 3598, 118, 528, 0, 485, 0.05, 1601, 81, false, false, 0, 1},
+	{"435.gromacs", SPECfp, 619, 2919, 154, 402, 0, 5132, 0.01, 919287, 8, false, false, 0, 1},
+	{"436.cactusADM", SPECfp, 876, 6394, 271, 1533, 0, 3003, 0.01, 4662, 3, false, false, 0, 1},
+	{"437.leslie3d", SPECfp, 434, 3247, 106, 597, 0, 475, 0.00, 85206, 2, false, false, 0, 1},
+	{"444.namd", SPECfp, 176, 482, 61, 101, 0, 19426, 0.02, 737925, 20, false, false, 0, 1},
+	{"447.dealII", SPECfp, 9935, 30204, 792, 3369, 280, 16331, 0.06, 19533456, 47, false, true, 0, 1},
+	{"450.soplex", SPECfp, 784, 1954, 225, 453, 2590, 32681, 0.07, 312430, 7, false, false, 0, 1},
+	{"453.povray", SPECfp, 1644, 12056, 548, 2201, 270387, 69109, 0.76, 34335309, 6, false, true, 0, 1},
+	{"454.calculix", SPECfp, 1009, 8307, 416, 1660, 0, 62812, 0.06, 3662033, 11, false, false, 0, 1},
+	{"459.GemsFDTD", SPECfp, 517, 5076, 175, 2067, 0, 32749, 0.01, 1579372, 7, false, false, 0, 1},
+	{"465.tonto", SPECfp, 2144, 34717, 657, 4548, 0, 26186, 0.03, 9545304, 101, false, false, 0, 1},
+	{"470.lbm", SPECfp, 75, 135, 13, 16, 0, 0, 0.00, 2964, 3, false, false, 0, 1},
+	{"481.wrf", SPECfp, 1367, 17330, 660, 5483, 0, 20138, 0.03, 2358117, 4, false, false, 0, 1},
+	{"482.sphinx3", SPECfp, 273, 1570, 134, 404, 0, 4187, 0.00, 1875791, 6, false, false, 0, 1},
+
+	{"blackscholes", Parsec, 12, 26, 3, 5, 0, 68, 0.00, 14646244, 11, false, false, 0, 4},
+	{"bodytrack", Parsec, 1310, 11047, 218, 894, 0, 68268, 0.01, 6928160, 5, false, false, 1, 4},
+	{"facesim", Parsec, 6213, 24377, 264, 1102, 0, 24132, 0.00, 8891290, 5, false, false, 0, 4},
+	{"ferret", Parsec, 1987, 25270, 354, 1612, 0, 44682, 0.00, 4439120, 4, false, false, 1, 4},
+	{"raytrace", Parsec, 7911, 24577, 177, 632, 0, 370, 0.06, 3516574, 5, false, false, 1, 4},
+	{"swaptions", Parsec, 2173, 6372, 15, 136, 0, 3, 0.03, 21753118, 12, false, false, 0, 4},
+	{"fluidanimate", Parsec, 2168, 6420, 73, 144, 0, 49, 0.00, 76287, 8, false, false, 0, 4},
+	{"vips", Parsec, 5395, 25302, 482, 1555, 0, 3865, 0.00, 855060, 5, false, false, 1, 4},
+	{"x264", Parsec, 820, 3299, 221, 1052, 0, 15729, 0.00, 23984355, 4, true, true, 1, 4},
+	{"canneal", Parsec, 2191, 6733, 107, 225, 0, 380, 0.00, 2276649, 6, false, false, 0, 4},
+	{"dedup", Parsec, 121, 256, 21, 30, 0, 30239, 0.00, 1305985, 4, false, false, 0, 4},
+	{"streamcluster", Parsec, 2182, 6336, 11, 29, 0, 14, 0.00, 111153, 6, false, false, 0, 4},
+}
+
+// derive turns a Table 1 row into generator parameters.
+func derive(r row) Profile {
+	ccFrac := 0.0
+	if r.callsPerSec > 0 {
+		ccFrac = r.ccPerSec / r.callsPerSec
+	}
+	// Real recursion exists only where the paper's PCCE pushed on the
+	// ccStack (PCCE has no discovery warmup, so its ccStack traffic is
+	// recursion and unencodable indirects); DACCE-only ccStack traffic
+	// emerges from edge discovery and re-encoding on its own.
+	hasRec := r.pcceCC > 0 || r.depth >= 0.1
+	recProb, recStart, recSites, maxDepth, selfRec := 0.0, 0.0, 0, 48, 0.0
+	if hasRec {
+		// Chain starts are rare (scaled from the ccStack traffic
+		// fraction); continuation is geometric, calibrated so the mean
+		// chain length matches Table 1's average ccStack depth (gobmk
+		// 2.47, xalancbmk 6.01).
+		recStart = ccFrac * 4
+		if recStart > 0.25 {
+			recStart = 0.25
+		}
+		if recStart < 0.002 {
+			recStart = 0.002
+		}
+		recProb = 0.4
+		recSites = r.dEdges/80 + 1
+		selfRec = 0.3
+		if r.depth > 0.5 {
+			p := r.depth / (r.depth + 0.6)
+			if p > 0.93 {
+				p = 0.93
+			}
+			recProb = p
+			selfRec = 0.85
+			if recStart < 0.2 {
+				recStart = 0.2
+			}
+			maxDepth = 48 + int(r.depth*40)
+		}
+	}
+	indSites, actual, declared := 0, 2, 6
+	switch {
+	case r.bigTargets:
+		indSites, actual, declared = maxInt(6, r.dNodes/40), 10, 24
+	case r.indirectHeavy:
+		indSites, actual, declared = maxInt(3, r.dNodes/40), 3, 10
+	case r.dNodes >= 60:
+		indSites = maxInt(1, r.dNodes/80)
+	}
+	phases := r.gts / 6
+	if phases < 2 {
+		phases = 2
+	}
+	if phases > 12 {
+		phases = 12
+	}
+	lazyFuncs := 0
+	if r.lazy > 0 {
+		lazyFuncs = maxInt(4, r.dNodes/30)
+	}
+	return Profile{
+		Name:            r.name,
+		Suite:           r.suite,
+		Seed:            seedOf(r.name),
+		StaticFuncs:     r.sNodes,
+		StaticEdges:     r.sEdges,
+		ExecFuncs:       r.dNodes,
+		ExecEdges:       r.dEdges,
+		Layers:          layersFor(r.dNodes),
+		IndirectSites:   indSites,
+		ActualTargets:   actual,
+		DeclaredTargets: declared,
+		RecSites:        recSites,
+		RecProb:         recProb,
+		RecStartProb:    recStart,
+		MaxDepth:        maxDepth,
+		SelfRecFrac:     selfRec,
+		HotIndirect:     r.bigTargets,
+		ColdCycles:      r.pcceCC > 0,
+		TailSites:       maxInt(1, r.dEdges/200),
+		LazyModules:     r.lazy,
+		LazyFuncs:       lazyFuncs,
+		Threads:         r.threads,
+		CallsPerSec:     r.callsPerSec,
+		Phases:          phases,
+	}
+}
+
+func layersFor(dNodes int) int {
+	switch {
+	case dNodes < 16:
+		return 4
+	case dNodes < 80:
+		return 6
+	case dNodes < 400:
+		return 8
+	default:
+		return 10
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func seedOf(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Profiles returns all 41 benchmark profiles in the paper's Table 1
+// order.
+func Profiles() []Profile {
+	out := make([]Profile, len(table1))
+	for i, r := range table1 {
+		out[i] = derive(r)
+	}
+	return out
+}
+
+// ByName returns the profile with the given benchmark name, or false.
+func ByName(name string) (Profile, bool) {
+	for _, r := range table1 {
+		if r.name == name {
+			return derive(r), true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	out := make([]string, len(table1))
+	for i, r := range table1 {
+		out[i] = r.name
+	}
+	return out
+}
+
+// PaperRow returns the paper's measured values for a benchmark, for
+// side-by-side reporting in EXPERIMENTS.md.
+type PaperRow struct {
+	Name                         string
+	Suite                        Suite
+	PCCENodes, PCCEEdges         int
+	DACCENodes, DACCEEdges       int
+	CCPerSec, Depth, CallsPerSec float64
+	GTS                          int
+}
+
+// PaperRows returns the transcription of Table 1.
+func PaperRows() []PaperRow {
+	out := make([]PaperRow, len(table1))
+	for i, r := range table1 {
+		out[i] = PaperRow{
+			Name: r.name, Suite: r.suite,
+			PCCENodes: r.sNodes, PCCEEdges: r.sEdges,
+			DACCENodes: r.dNodes, DACCEEdges: r.dEdges,
+			CCPerSec: r.ccPerSec, Depth: r.depth, CallsPerSec: r.callsPerSec,
+			GTS: r.gts,
+		}
+	}
+	return out
+}

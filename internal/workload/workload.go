@@ -1,0 +1,293 @@
+// Package workload synthesizes the benchmark programs the evaluation
+// runs (DESIGN.md §2): one calibrated profile per SPEC CPU2006 and
+// Parsec 2.1 benchmark from the paper's Table 1. A generated program
+// has a layered executed core (the dynamic call graph DACCE discovers)
+// wrapped in a larger static structure (cold functions, cold edges,
+// points-to false positives, dlopen modules) that only static encoders
+// like PCCE must cope with.
+//
+// Generation is fully deterministic per profile: structure comes from a
+// seeded PCG stream, and run-time choices come from the per-thread PRNG
+// plus a phase index derived from the thread's call count, so the same
+// profile produces the same call trace under every encoding scheme.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// Suite labels the benchmark family.
+type Suite string
+
+// Benchmark suites.
+const (
+	SPECint Suite = "SPECint"
+	SPECfp  Suite = "SPECfp"
+	Parsec  Suite = "Parsec"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Suite Suite
+	Seed  uint64
+
+	// Static structure: the graph a points-to analysis would see.
+	StaticFuncs int // total functions (PCCE's Nodes column)
+	StaticEdges int // total static edges (PCCE's Edges column)
+
+	// Executed core: what actually runs (DACCE's Nodes/Edges columns).
+	ExecFuncs int
+	ExecEdges int
+
+	// Layers is the depth of the layered executed DAG; the typical call
+	// stack depth without recursion.
+	Layers int
+
+	// IndirectSites is the number of executed indirect call sites;
+	// each invokes ActualTargets distinct functions at run time while a
+	// static analysis declares DeclaredTargets for it (the extra ones
+	// are the false positives of paper §2.2).
+	IndirectSites   int
+	ActualTargets   int
+	DeclaredTargets int
+
+	// RecSites is the number of executed back edges; RecProb is the
+	// per-visit probability of recursing through one; MaxDepth bounds
+	// the stack. SelfRecFrac is the fraction of recursive sites that
+	// target their own function — immediately repetitive recursion, the
+	// kind Fig. 5e's counter compression collapses.
+	// RecStartProb is the per-visit probability of *starting* a
+	// recursive chain; RecProb is the probability of continuing one
+	// (geometric chain length 1/(1-RecProb), calibrating Table 1's
+	// average ccStack depth).
+	RecSites     int
+	RecProb      float64
+	RecStartProb float64
+	MaxDepth     int
+	SelfRecFrac  float64
+
+	// TailSites is the number of executed tail-call sites.
+	TailSites int
+
+	// LazyModules is the number of dlopen-style modules; LazyFuncs of
+	// the executed functions live there and are reached through PLT
+	// calls (invisible to static encoding).
+	LazyModules int
+	LazyFuncs   int
+
+	// Threads is the number of threads (Parsec runs 4; SPEC runs 1).
+	Threads int
+
+	// TotalCalls is the call budget across all threads.
+	TotalCalls int64
+
+	// CallsPerSec is the paper's measured invocation rate (Table 1);
+	// it calibrates the per-call application work so that model-time
+	// rates land in the paper's regime.
+	CallsPerSec float64
+
+	// Branch is the mean fan-out per function body; controls trace
+	// shape (calls per root iteration ≈ Branch^Layers).
+	Branch float64
+
+	// HotSkew skews per-site invocation weights: higher values
+	// concentrate traffic on fewer edges.
+	HotSkew float64
+
+	// HotIndirect floors the invocation probability of indirect sites
+	// at 0.3, modelling programs whose hot loops dispatch through
+	// function pointers (perlbench, gobmk, x264 in §6.4).
+	HotIndirect bool
+
+	// ColdCycles enables static-only backward edges: cold structure
+	// that closes cycles through the hot core, making a static encoder
+	// classify executed edges as back edges (the paper's explanation
+	// for PCCE's perlbench/xalancbmk ccStack traffic, §6.4). Only set
+	// for benchmarks whose paper row shows PCCE ccStack activity.
+	ColdCycles bool
+
+	// Phases is how many times the hot paths rotate during a run; each
+	// rotation re-draws the site weights (drives adaptive re-encoding).
+	Phases int
+}
+
+// fill applies defaults for zero fields.
+func (p *Profile) fill() {
+	if p.Layers == 0 {
+		p.Layers = 8
+	}
+	if p.Threads == 0 {
+		p.Threads = 1
+	}
+	if p.TotalCalls == 0 {
+		p.TotalCalls = 400_000
+	}
+	if p.Branch == 0 {
+		p.Branch = 1.6
+	}
+	if p.HotSkew == 0 {
+		p.HotSkew = 3
+	}
+	if p.Phases == 0 {
+		p.Phases = 4
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 64
+	}
+	if p.ActualTargets == 0 {
+		p.ActualTargets = 2
+	}
+	if p.DeclaredTargets < p.ActualTargets {
+		p.DeclaredTargets = p.ActualTargets * 3
+	}
+	if p.CallsPerSec == 0 {
+		p.CallsPerSec = 5e6
+	}
+	if p.ExecFuncs < p.Layers+p.Threads {
+		p.ExecFuncs = p.Layers + p.Threads
+	}
+	if p.StaticFuncs < p.ExecFuncs {
+		p.StaticFuncs = p.ExecFuncs
+	}
+	if p.ExecEdges < p.ExecFuncs {
+		p.ExecEdges = p.ExecFuncs
+	}
+	if p.StaticEdges < p.ExecEdges {
+		p.StaticEdges = p.ExecEdges
+	}
+}
+
+// siteClass classifies a generated site for the body driver.
+type siteClass uint8
+
+const (
+	clDirect siteClass = iota
+	clIndirect
+	clRec
+	clTail
+	clCold // static-only: the body never invokes it
+)
+
+// siteInfo is the runtime driver data of one site.
+type siteInfo struct {
+	id    prog.SiteID
+	class siteClass
+	// selfRec marks recursive sites whose target is their own caller.
+	selfRec bool
+	// repeat invokes the site this many times per firing (inner-loop
+	// dispatch; 0 means once).
+	repeat int
+	// pPhase is the invocation probability per phase.
+	pPhase []float64
+	// targets and tPhase drive indirect target choice: per phase, a
+	// cumulative weight table over targets.
+	targets []prog.FuncID
+	tCum    [][]float64
+}
+
+// fnInfo is the runtime driver data of one function.
+type fnInfo struct {
+	id     prog.FuncID
+	layer  int
+	sites  []*siteInfo
+	work   int64
+	isRoot bool // main or a worker entry: loops until the budget is spent
+}
+
+// Workload is a generated benchmark program plus its driver tables.
+type Workload struct {
+	Prof Profile
+	P    *prog.Program
+
+	fns           []*fnInfo // indexed by FuncID
+	workers       []prog.FuncID
+	budgetPerThrd int64
+	workPerCall   int64
+	phaseLen      int64
+}
+
+// Build generates the workload for a profile.
+func Build(pr Profile) (*Workload, error) {
+	pr.fill()
+	g := &generator{
+		prof: pr,
+		rng:  rand.New(rand.NewPCG(pr.Seed, 0xDACCE)),
+		b:    prog.NewBuilder(),
+	}
+	w, err := g.generate()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", pr.Name, err)
+	}
+	return w, nil
+}
+
+// MustBuild is Build for known-good profiles.
+func MustBuild(pr Profile) *Workload {
+	w, err := Build(pr)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// NewMachine creates a machine running this workload under scheme.
+func (w *Workload) NewMachine(scheme machine.Scheme, cfg machine.Config) *machine.Machine {
+	if cfg.Seed == 0 {
+		cfg.Seed = w.Prof.Seed + 1
+	}
+	return machine.New(w.P, scheme, cfg)
+}
+
+// CollectProfile runs the workload once under a pure edge-counting
+// scheme and returns per-edge invocation counts — the "profiling run
+// with the same input" the paper grants PCCE (§6.1).
+func (w *Workload) CollectProfile() (map[graph.EdgeKey]int64, error) {
+	pc := newProfiler()
+	m := w.NewMachine(pc, machine.Config{DropSamples: true})
+	if _, err := m.Run(); err != nil {
+		return nil, err
+	}
+	return pc.counts(), nil
+}
+
+// phaseOf derives the current phase from a thread's call count.
+func (w *Workload) phaseOf(calls int64) int {
+	if w.phaseLen <= 0 {
+		return 0
+	}
+	ph := int(calls / w.phaseLen)
+	if ph >= w.Prof.Phases {
+		ph = w.Prof.Phases - 1
+	}
+	return ph
+}
+
+// WorkPerCall returns the calibrated application work per call.
+func (w *Workload) WorkPerCall() int64 { return w.workPerCall }
+
+// u01 is a deterministic hash-to-uniform for (seed, a, b, c), used for
+// structure-independent per-phase weights.
+func u01(seed uint64, a, b, c uint64) float64 {
+	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f ^ c*0x165667b19e3779f9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
+}
+
+// zipfWeight turns a uniform draw into a heavy-tailed weight.
+func zipfWeight(u, skew float64) float64 {
+	if u <= 0 {
+		u = 1e-12
+	}
+	return math.Pow(u, skew)
+}
