@@ -398,3 +398,28 @@ func BenchmarkCapture(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 }
+
+// BenchmarkTelemetry quantifies the cost of the telemetry layer on a
+// full DACCE workload run. The nil-sink variant is the library default
+// and must stay within noise of no telemetry at all — every emission
+// site guards on the sink before constructing an event, so disabled
+// telemetry costs one predicted branch. The counting variant bounds the
+// per-event cost of the cheapest real sink, and the metrics variant the
+// full registry pipeline.
+func BenchmarkTelemetry(b *testing.B) {
+	pr := mustProfile(b, "445.gobmk")
+	w := workload.MustBuild(pr)
+	run := func(b *testing.B, sink dacce.Sink) {
+		for i := 0; i < b.N; i++ {
+			d := core.New(w.P, core.Options{Sink: sink})
+			m := machine.New(w.P, machine.Instrument(d, sink), machine.Config{SampleEvery: 256, DropSamples: true, Seed: pr.Seed + 1})
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pr.TotalCalls)*float64(b.N)/b.Elapsed().Seconds(), "simcalls/s")
+	}
+	b.Run("NilSink", func(b *testing.B) { run(b, nil) })
+	b.Run("Counting", func(b *testing.B) { run(b, &dacce.CountingSink{}) })
+	b.Run("Metrics", func(b *testing.B) { run(b, dacce.NewTelemetry()) })
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"dacce/internal/experiments"
+	"dacce/internal/telemetry"
 	"dacce/internal/workload"
 )
 
@@ -30,6 +31,9 @@ func main() {
 	benchList := fs.String("bench", "", "comma-separated benchmark subset")
 	sample := fs.Int64("sample", 256, "sampling period in calls")
 	profileFile := fs.String("profiles", "", "JSON file of custom workload profiles (see 'daccebench dump-profiles')")
+	metrics := fs.Bool("metrics", false, "print a telemetry metrics snapshot to stderr after the run")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+	flightN := fs.Int("flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on overflow or decode failure")
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "dump-profiles" {
@@ -40,7 +44,24 @@ func main() {
 		return
 	}
 
-	cfg := experiments.RunConfig{Calls: *calls, SampleEvery: *sample}
+	// Telemetry sinks aggregate across every benchmark run the
+	// subcommand performs; snapshots are written once on the way out.
+	var mts *telemetry.Metrics
+	var ctr *telemetry.ChromeTrace
+	var sinks []telemetry.Sink
+	if *metrics {
+		mts = telemetry.NewMetrics()
+		sinks = append(sinks, mts)
+	}
+	if *traceOut != "" {
+		ctr = telemetry.NewChromeTrace()
+		sinks = append(sinks, ctr)
+	}
+	if *flightN > 0 {
+		sinks = append(sinks, telemetry.NewFlightRecorder(*flightN, os.Stderr))
+	}
+
+	cfg := experiments.RunConfig{Calls: *calls, SampleEvery: *sample, Sink: telemetry.Multi(sinks...)}
 	var err error
 	profiles := func() []workload.Profile {
 		if *profileFile != "" {
@@ -79,14 +100,36 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err == nil && ctr != nil {
+		err = writeTrace(*traceOut, ctr)
+	}
+	if err == nil && mts != nil {
+		err = mts.WritePrometheus(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "daccebench:", err)
 		os.Exit(1)
 	}
 }
 
+func writeTrace(path string, ctr *telemetry.ChromeTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ctr.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d events written to %s (open in chrome://tracing)\n", ctr.Len(), path)
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-profiles file.json]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-profiles file.json] [-metrics] [-trace-out file.json] [-flight-recorder N]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -5,6 +5,11 @@
 //	daccerun -bench 483.xalancbmk -scheme dacce [-calls N] [-sample N]
 //
 // Schemes: null, dacce, pcce, stackwalk, cct, pcc.
+//
+// Telemetry: -metrics prints a metrics snapshot after the run,
+// -trace-out writes a Chrome trace-event file (load it in
+// chrome://tracing or Perfetto), -flight-recorder keeps a ring buffer
+// of the last N events and dumps it on id overflow or decode failure.
 package main
 
 import (
@@ -21,8 +26,17 @@ import (
 	"dacce/internal/pcce"
 	"dacce/internal/stackwalk"
 	"dacce/internal/stats"
+	"dacce/internal/telemetry"
 	"dacce/internal/workload"
 )
+
+// telemetryOpts bundles the observability flags.
+type telemetryOpts struct {
+	metrics       bool
+	metricsFormat string
+	traceOut      string
+	flightN       int
+}
 
 func main() {
 	bench := flag.String("bench", "429.mcf", "benchmark name (see -list)")
@@ -32,6 +46,11 @@ func main() {
 	dump := flag.String("dump", "", "directory to write bundle.json + captures.json (dacce only)")
 	validate := flag.Bool("validate", false, "cross-validate every sampled context against the shadow stack (dacce/pcce)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	var tel telemetryOpts
+	flag.BoolVar(&tel.metrics, "metrics", false, "print a telemetry metrics snapshot after the run")
+	flag.StringVar(&tel.metricsFormat, "metrics-format", "prom", "metrics snapshot format: prom|json")
+	flag.StringVar(&tel.traceOut, "trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+	flag.IntVar(&tel.flightN, "flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on overflow or decode failure")
 	flag.Parse()
 
 	if *list {
@@ -40,13 +59,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate); err != nil {
+	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "daccerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, schemeName string, calls, sample int64, dump string, validate bool) error {
+func run(bench, schemeName string, calls, sample int64, dump string, validate bool, tel telemetryOpts) error {
 	pr, ok := workload.ByName(bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", bench)
@@ -59,6 +78,28 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 		return err
 	}
 
+	// Assemble the telemetry pipeline. All enabled sinks see the same
+	// event stream: DACCE emits encoder events through Options.Sink,
+	// and Instrument adds thread lifecycle and sampling events for
+	// every scheme, baselines included.
+	var mts *telemetry.Metrics
+	var ctr *telemetry.ChromeTrace
+	var fr *telemetry.FlightRecorder
+	var sinks []telemetry.Sink
+	if tel.metrics {
+		mts = telemetry.NewMetrics()
+		sinks = append(sinks, mts)
+	}
+	if tel.traceOut != "" {
+		ctr = telemetry.NewChromeTrace()
+		sinks = append(sinks, ctr)
+	}
+	if tel.flightN > 0 {
+		fr = telemetry.NewFlightRecorder(tel.flightN, os.Stderr)
+		sinks = append(sinks, fr)
+	}
+	sink := telemetry.Multi(sinks...)
+
 	var sch machine.Scheme
 	var d *core.DACCE
 	var ps *pcce.Scheme
@@ -66,7 +107,7 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	case "null":
 		sch = machine.NullScheme{}
 	case "dacce":
-		d = core.New(w.P, core.Options{TrackProgress: true})
+		d = core.New(w.P, core.Options{TrackProgress: true, Sink: sink})
 		sch = d
 	case "pcce":
 		prof, err := w.CollectProfile()
@@ -84,6 +125,7 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	default:
 		return fmt.Errorf("unknown scheme %q", schemeName)
 	}
+	sch = machine.Instrument(sch, sink)
 
 	m := w.NewMachine(sch, machine.Config{
 		SampleEvery:      sample,
@@ -161,6 +203,38 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 			return err
 		}
 		fmt.Printf("dump           bundle + %d captures written to %s\n", len(rs.Samples), dump)
+	}
+	if ctr != nil {
+		tf, err := os.Create(tel.traceOut)
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := ctr.Export(tf); err != nil {
+			tf.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace          %d events written to %s (open in chrome://tracing)\n", ctr.Len(), tel.traceOut)
+	}
+	if fr != nil && fr.Dumps() == 0 {
+		fmt.Printf("flight rec.    %d events buffered, no overflow or decode failure\n", fr.Len())
+	}
+	if mts != nil {
+		fmt.Println()
+		switch tel.metricsFormat {
+		case "prom":
+			if err := mts.WritePrometheus(os.Stdout); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		case "json":
+			if err := mts.WriteJSON(os.Stdout); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		default:
+			return fmt.Errorf("unknown -metrics-format %q (want prom or json)", tel.metricsFormat)
+		}
 	}
 	return nil
 }

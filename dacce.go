@@ -37,6 +37,8 @@
 package dacce
 
 import (
+	"io"
+
 	"dacce/internal/breadcrumbs"
 	"dacce/internal/ccprof"
 	"dacce/internal/cct"
@@ -46,6 +48,7 @@ import (
 	"dacce/internal/pcce"
 	"dacce/internal/prog"
 	"dacce/internal/stackwalk"
+	"dacce/internal/telemetry"
 	"dacce/internal/trace"
 	"dacce/internal/workload"
 )
@@ -226,3 +229,54 @@ func BenchmarkByName(name string) (WorkloadProfile, bool) { return workload.ByNa
 
 // BuildWorkload generates the program for a benchmark profile.
 func BuildWorkload(pr WorkloadProfile) (*Workload, error) { return workload.Build(pr) }
+
+// Telemetry: a structured event stream, a metrics registry with
+// Prometheus-style and JSON exposition, a Chrome trace-event exporter
+// and a flight recorder. Pass a Sink via Options.Sink (DACCE) or wrap
+// any baseline with Instrument to put it on the same stream.
+type (
+	// Sink consumes telemetry events. Implementations must be safe for
+	// concurrent use and must not call back into the emitting encoder.
+	Sink = telemetry.Sink
+	// Event is one telemetry event.
+	Event = telemetry.Event
+	// EventKind discriminates telemetry events.
+	EventKind = telemetry.Kind
+	// ReencodeReason attributes a re-encoding pass to its trigger.
+	ReencodeReason = telemetry.Reason
+	// Telemetry is a metrics-registry sink: it aggregates the event
+	// stream into counters, gauges and histograms and writes
+	// Prometheus-style text or JSON snapshots.
+	Telemetry = telemetry.Metrics
+	// ChromeTrace is a sink that renders the event stream as a Chrome
+	// trace-event JSON file (chrome://tracing, Perfetto), with one
+	// duration span per re-encoding epoch.
+	ChromeTrace = telemetry.ChromeTrace
+	// FlightRecorder is a bounded ring-buffer sink that dumps the last
+	// N events on id overflow or decode failure.
+	FlightRecorder = telemetry.FlightRecorder
+	// CountingSink counts events by kind (useful in tests).
+	CountingSink = telemetry.CountingSink
+)
+
+// NewTelemetry returns a metrics-registry sink.
+func NewTelemetry() *Telemetry { return telemetry.NewMetrics() }
+
+// NewChromeTrace returns a Chrome trace-event sink.
+func NewChromeTrace() *ChromeTrace { return telemetry.NewChromeTrace() }
+
+// NewFlightRecorder returns a flight-recorder sink holding the last n
+// events (n <= 0 selects the default capacity) and auto-dumping to out
+// on id overflow or decode failure. out may be nil to disable
+// auto-dumps.
+func NewFlightRecorder(n int, out io.Writer) *FlightRecorder {
+	return telemetry.NewFlightRecorder(n, out)
+}
+
+// MultiSink fans events out to several sinks; nils are dropped.
+func MultiSink(sinks ...Sink) Sink { return telemetry.Multi(sinks...) }
+
+// Instrument wraps any scheme so thread lifecycle and sampling events
+// flow into sink, putting baselines on the same event stream as DACCE.
+// A nil sink returns s unchanged.
+func Instrument(s Scheme, sink Sink) Scheme { return machine.Instrument(s, sink) }

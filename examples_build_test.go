@@ -1,0 +1,41 @@
+package dacce_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program. The examples are
+// standalone main packages outside the library's build graph, so plain
+// `go build ./...` from CI would catch them, but a broken example left
+// unbuilt for a while is the classic docs-rot failure — this keeps them
+// honest on every `go test` too.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		n++
+		dir := filepath.Join("examples", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			cmd := exec.Command("go", "build", "-o", os.DevNull, "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go build ./%s failed: %v\n%s", dir, err, out)
+			}
+		})
+	}
+	if n == 0 {
+		t.Fatal("no example directories found under examples/")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dacce/internal/graph"
 	"dacce/internal/machine"
 	"dacce/internal/prog"
+	"dacce/internal/telemetry"
 )
 
 // Triggers configures the adaptive controller (paper §4): re-encoding
@@ -86,6 +87,13 @@ type Options struct {
 	TrackProgress bool
 	// ProgressEvery is the progress sampling stride (default 16).
 	ProgressEvery int64
+	// Sink receives the telemetry event stream (edge discovery,
+	// re-encoding passes with their trigger reason, ccStack traffic,
+	// indirect promotions, id overflows, tail fix-ups, decode
+	// requests). Nil — the default — emits nothing; every emission
+	// site guards on it with a single branch, so an unobserved run
+	// constructs no events.
+	Sink telemetry.Sink
 }
 
 // DefaultInlineThreshold matches the paper's "small number of indirect
@@ -122,6 +130,11 @@ type DACCE struct {
 	tailContaining map[prog.FuncID]bool
 	compress       map[graph.EdgeKey]bool // back edges with compression on
 	pendingNew     []*graph.Edge          // edges discovered since the last pass
+	hashed         map[prog.SiteID]bool   // sites promoted to hash dispatch
+
+	// sink receives telemetry events; nil disables emission (the fast
+	// path — each emission site is one predictable branch).
+	sink telemetry.Sink
 
 	// Adaptive-trigger counters, reset at each re-encoding. backoff
 	// scales the traffic-driven thresholds up after every pass, so
@@ -158,6 +171,8 @@ func New(p *prog.Program, opt Options) *DACCE {
 		g:              graph.New(p),
 		tailContaining: make(map[prog.FuncID]bool),
 		compress:       make(map[graph.EdgeKey]bool),
+		hashed:         make(map[prog.SiteID]bool),
+		sink:           opt.Sink,
 	}
 	d.epi = &epiStub{d: d}
 	d.trap = &trapStub{d: d}
@@ -167,6 +182,13 @@ func New(p *prog.Program, opt Options) *DACCE {
 	asn := blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
 	d.dicts = append(d.dicts, asn)
 	d.maxID = asn.MaxID
+	if d.sink != nil {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvEncoderInit, Thread: -1,
+			Site: prog.NoSite, Fn: prog.NoFunc,
+			Value: d.opt.Budget, Aux: asn.MaxID,
+		})
+	}
 	return d
 }
 

@@ -7,6 +7,7 @@ import (
 	"dacce/internal/graph"
 	"dacce/internal/machine"
 	"dacce/internal/prog"
+	"dacce/internal/telemetry"
 )
 
 // maxDecodeSteps bounds the decoder against corrupted input.
@@ -18,9 +19,17 @@ const maxDecodeSteps = 1 << 22
 // (paper §5.3). Safe to call during or after the run.
 func (d *DACCE) Decode(c *Capture) (Context, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	dec := &Decoder{P: d.p, G: d.g, Dicts: d.dicts}
-	return dec.decodeLocked(c, true)
+	ctx, err := dec.decodeLocked(c, true)
+	d.mu.Unlock()
+	if d.sink != nil {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvDecodeRequest, Thread: -1,
+			Epoch: c.Epoch, Site: prog.NoSite, Fn: c.Fn,
+			Err: err != nil, Value: uint64(len(ctx)),
+		})
+	}
+	return ctx, err
 }
 
 // Decoder turns captures back into calling contexts given a program, a

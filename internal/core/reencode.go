@@ -7,6 +7,7 @@ import (
 	"dacce/internal/graph"
 	"dacce/internal/machine"
 	"dacce/internal/prog"
+	"dacce/internal/telemetry"
 )
 
 func edgeKeyOf(e *graph.Edge) graph.EdgeKey {
@@ -51,6 +52,19 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 		return
 	}
 
+	reason := d.triggerReasonLocked(force)
+	tid := int32(-1)
+	if self != nil {
+		tid = int32(self.ID())
+	}
+	if d.sink != nil {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvReencodeStart, Thread: tid, Reason: reason,
+			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Value: uint64(d.g.NumEdges()),
+		})
+	}
+
 	// Incremental pass: when only edge discovery fired the trigger and
 	// the option is on, renumber just the affected subgraph and pay for
 	// the changed region only. Hot-path and ccStack triggers demand the
@@ -73,6 +87,13 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 		}
 	} else {
 		asn = blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
+	}
+	if d.sink != nil && asn.Overflowed && !d.dicts[len(d.dicts)-1].Overflowed {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvIDOverflow, Thread: tid,
+			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Value: asn.UnrestrictedMaxID, Aux: d.opt.Budget,
+		})
 	}
 	d.pendingNew = d.pendingNew[:0]
 	d.dicts = append(d.dicts, asn)
@@ -122,6 +143,35 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	if d.backoff < 4 {
 		d.backoff++
 	}
+
+	if d.sink != nil {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvReencodeEnd, Thread: tid, Reason: reason,
+			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Value: uint64(cost), Aux: asn.MaxID,
+		})
+	}
+}
+
+// triggerReasonLocked attributes the pass about to run to one of the
+// paper's three triggers (checked in the order new edges → hot paths →
+// ccStack traffic, so simultaneous firings report the cheaper-to-detect
+// cause), or ReasonForced for explicit passes.
+func (d *DACCE) triggerReasonLocked(force bool) telemetry.Reason {
+	if force {
+		return telemetry.ReasonForced
+	}
+	scale := int64(1) << d.backoff
+	switch {
+	case d.newEdges >= d.newEdgeThresholdLocked():
+		return telemetry.ReasonNewEdges
+	case d.unencCalls.Load() >= d.opt.Trig.UnencodedCalls*scale,
+		d.hotMiss.Load() >= d.opt.Trig.HotMissSamples*scale:
+		return telemetry.ReasonHotPath
+	case d.ccOps.Load() >= d.opt.Trig.CCOps*scale:
+		return telemetry.ReasonCCOps
+	}
+	return telemetry.ReasonForced
 }
 
 // triggersFiredLocked re-checks the adaptive triggers under d.mu. The
@@ -180,4 +230,14 @@ func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
 		d.translateThreadLocked(t)
 	}
 	d.stats.TailFixups++
+	if d.sink != nil {
+		tid := int32(-1)
+		if self != nil {
+			tid = int32(self.ID())
+		}
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvTailFixup, Thread: tid,
+			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: fn,
+		})
+	}
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dacce/internal/machine"
+)
+
+func TestReencodeCostMicros(t *testing.T) {
+	cases := []struct {
+		cycles int64
+		want   float64
+	}{
+		{0, 0},
+		{int64(machine.NominalHz), 1e6}, // one second of cycles
+		{int64(machine.NominalHz / 1e6), 1},
+		{3600, 3600 / machine.NominalHz * 1e6},
+	}
+	for _, c := range cases {
+		s := &Stats{ReencodeCost: c.cycles}
+		got := s.ReencodeCostMicros()
+		if math.Abs(got-c.want) > c.want*1e-9+1e-12 {
+			t.Errorf("ReencodeCostMicros(%d cycles) = %g, want %g", c.cycles, got, c.want)
+		}
+	}
+}
+
+// TestReencodeCostMatchesHistory cross-checks the aggregate against the
+// per-epoch records: the total cost must be the sum of the history's
+// CostCycles, converted consistently.
+func TestReencodeCostMatchesHistory(t *testing.T) {
+	p := discoveringProgram(t, 40, 60)
+	d := New(p, Options{Trig: Triggers{NewEdges: 4}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 16, DropSamples: true})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.GTS < 2 {
+		t.Fatalf("expected multiple re-encodings, got gTS = %d", st.GTS)
+	}
+	var sum int64
+	for _, r := range st.History {
+		sum += r.CostCycles
+	}
+	if sum != st.ReencodeCost {
+		t.Errorf("sum of History.CostCycles = %d, Stats.ReencodeCost = %d", sum, st.ReencodeCost)
+	}
+	wantUs := float64(sum) / machine.NominalHz * 1e6
+	if got := st.ReencodeCostMicros(); math.Abs(got-wantUs) > 1e-9 {
+		t.Errorf("ReencodeCostMicros = %g, want %g", got, wantUs)
+	}
+}
+
+// TestEpochHistoryOrdering checks the invariants of the per-epoch
+// history: one record per pass, epochs strictly increasing from 1 (the
+// initial empty encoding is epoch 0 and has no record), sample
+// positions non-decreasing, and the graph never shrinking.
+func TestEpochHistoryOrdering(t *testing.T) {
+	p := discoveringProgram(t, 40, 60)
+	d := New(p, Options{Trig: Triggers{NewEdges: 4}})
+	m := machine.New(p, d, machine.Config{SampleEvery: 16, DropSamples: true})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if len(st.History) != st.GTS {
+		t.Fatalf("len(History) = %d, want gTS = %d", len(st.History), st.GTS)
+	}
+	for i, r := range st.History {
+		if want := uint32(i + 1); r.Epoch != want {
+			t.Errorf("History[%d].Epoch = %d, want %d", i, r.Epoch, want)
+		}
+		if r.CostCycles <= 0 {
+			t.Errorf("History[%d].CostCycles = %d, want > 0", i, r.CostCycles)
+		}
+		if r.EncodedEdges > r.Edges {
+			t.Errorf("History[%d]: EncodedEdges %d > Edges %d", i, r.EncodedEdges, r.Edges)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := st.History[i-1]
+		if r.AtSample < prev.AtSample {
+			t.Errorf("History[%d].AtSample = %d decreased from %d", i, r.AtSample, prev.AtSample)
+		}
+		if r.Nodes < prev.Nodes || r.Edges < prev.Edges {
+			t.Errorf("History[%d]: graph shrank (%d/%d nodes, %d/%d edges)",
+				i, prev.Nodes, r.Nodes, prev.Edges, r.Edges)
+		}
+	}
+	last := st.History[len(st.History)-1]
+	if last.Nodes != st.Nodes || last.Edges != st.Edges || last.MaxID != st.MaxID {
+		t.Errorf("final record %+v disagrees with Stats (%d nodes, %d edges, maxID %d)",
+			last, st.Nodes, st.Edges, st.MaxID)
+	}
+}

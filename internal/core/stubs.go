@@ -6,6 +6,7 @@ import (
 
 	"dacce/internal/machine"
 	"dacce/internal/prog"
+	"dacce/internal/telemetry"
 )
 
 // actKind classifies the instrumentation an edge gets at the current
@@ -133,7 +134,9 @@ func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target 
 }
 
 // pushCC pushes an entry on the thread's ccStack, charging the model
-// cost when t is non-nil.
+// cost when t is non-nil. Re-encoding replay (t == nil) re-creates
+// entries rather than performing new pushes, so it neither charges nor
+// emits telemetry.
 func (d *DACCE) pushCC(t *machine.Thread, st *tls, e CCEntry) {
 	st.cc = append(st.cc, e)
 	if t != nil {
@@ -141,6 +144,13 @@ func (d *DACCE) pushCC(t *machine.Thread, st *tls, e CCEntry) {
 		t.C.InstrCost += machine.CostCCPush
 		if len(st.cc) > t.C.MaxCCDepth {
 			t.C.MaxCCDepth = len(st.cc)
+		}
+		if d.sink != nil {
+			d.sink.Emit(telemetry.Event{
+				Kind: telemetry.EvCCStackPush, Thread: int32(t.ID()),
+				Epoch: d.epoch.Load(), Site: e.Site, Fn: e.Target,
+				Value: uint64(len(st.cc)),
+			})
 		}
 	}
 }
@@ -169,6 +179,13 @@ func (e *epiStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID, 
 		st.cc = st.cc[:n-1]
 		t.C.CCPop++
 		t.C.InstrCost += machine.CostCCPop
+		if d := e.d; d.sink != nil {
+			d.sink.Emit(telemetry.Event{
+				Kind: telemetry.EvCCStackPop, Thread: int32(t.ID()),
+				Epoch: d.epoch.Load(), Site: s.ID, Fn: target,
+				Value: uint64(n - 1),
+			})
+		}
 	case tagRecCount:
 		n := len(st.cc)
 		if n == 0 {
@@ -216,10 +233,12 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	d.mu.Lock()
 	e, isNew := d.g.AddEdge(s.ID, target)
 	atomic.AddInt64(&e.Freq, 1)
+	edgesDiscovered := d.stats.EdgesDiscovered
 	if isNew {
 		d.newEdges++
 		d.pendingNew = append(d.pendingNew, e)
 		d.stats.EdgesDiscovered++
+		edgesDiscovered++
 		if s.Kind.IsTail() && !d.tailContaining[s.Caller] {
 			d.tailContaining[s.Caller] = true
 			tailFix = s.Caller
@@ -227,6 +246,21 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 		d.rebuildSiteLocked(s.ID)
 	}
 	d.mu.Unlock()
+
+	if d.sink != nil {
+		ep := d.epoch.Load()
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvHandlerTrap, Thread: int32(t.ID()),
+			Epoch: ep, Site: s.ID, Fn: target,
+		})
+		if isNew {
+			d.sink.Emit(telemetry.Event{
+				Kind: telemetry.EvEdgeDiscovered, Thread: int32(t.ID()),
+				Epoch: ep, Site: s.ID, Fn: target,
+				Value: uint64(edgesDiscovered),
+			})
+		}
+	}
 
 	if tailFix != prog.NoFunc {
 		d.tailFixup(t, tailFix)
@@ -415,6 +449,16 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 	// behind it.
 	h, rest := buildHash(actions)
 	d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
+	if !d.hashed[sid] {
+		d.hashed[sid] = true
+		if d.sink != nil {
+			d.sink.Emit(telemetry.Event{
+				Kind: telemetry.EvIndirectPromoted, Thread: -1,
+				Epoch: d.epoch.Load(), Site: sid, Fn: prog.NoFunc,
+				Value: uint64(len(actions)),
+			})
+		}
+	}
 }
 
 // rebuildAllLocked regenerates every patched site. Caller holds d.mu

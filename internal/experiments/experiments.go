@@ -13,6 +13,7 @@ import (
 	"dacce/internal/machine"
 	"dacce/internal/pcce"
 	"dacce/internal/stats"
+	"dacce/internal/telemetry"
 	"dacce/internal/workload"
 )
 
@@ -25,6 +26,10 @@ type RunConfig struct {
 	SampleEvery int64
 	// KeepSamples retains samples for depth CDFs (Fig. 10).
 	KeepSamples bool
+	// Sink receives telemetry events from every run when non-nil: the
+	// DACCE encoder's event stream plus, via machine.Instrument, thread
+	// lifecycle and sampling events from the baselines too.
+	Sink telemetry.Sink
 }
 
 func (c *RunConfig) fill() {
@@ -85,7 +90,7 @@ func RunBenchmark(pr workload.Profile, cfg RunConfig) (*BenchResult, error) {
 	}
 	steady := pr.TotalCalls / int64(pr.Threads) / 2
 	ps := pcce.New(w.P, pcce.Profile(prof), pcce.Options{})
-	pm := w.NewMachine(ps, machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: !cfg.KeepSamples, SteadyAfterCalls: steady})
+	pm := w.NewMachine(machine.Instrument(ps, cfg.Sink), machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: !cfg.KeepSamples, SteadyAfterCalls: steady})
 	prs, err := pm.Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s: pcce run: %w", pr.Name, err)
@@ -101,8 +106,8 @@ func RunBenchmark(pr workload.Profile, cfg RunConfig) (*BenchResult, error) {
 	}
 
 	// DACCE.
-	d := core.New(w.P, core.Options{TrackProgress: true})
-	dm := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: !cfg.KeepSamples, SteadyAfterCalls: steady})
+	d := core.New(w.P, core.Options{TrackProgress: true, Sink: cfg.Sink})
+	dm := w.NewMachine(machine.Instrument(d, cfg.Sink), machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: !cfg.KeepSamples, SteadyAfterCalls: steady})
 	drs, err := dm.Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s: dacce run: %w", pr.Name, err)
@@ -219,8 +224,8 @@ func Fig9(name string, cfg RunConfig) (*stats.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := core.New(w.P, core.Options{TrackProgress: true, ProgressEvery: 4})
-	m := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: true})
+	d := core.New(w.P, core.Options{TrackProgress: true, ProgressEvery: 4, Sink: cfg.Sink})
+	m := w.NewMachine(machine.Instrument(d, cfg.Sink), machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: true})
 	if _, err := m.Run(); err != nil {
 		return nil, err
 	}
@@ -250,8 +255,8 @@ func Fig10(name string, cfg RunConfig) (*stats.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := core.New(w.P, core.Options{})
-	m := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery})
+	d := core.New(w.P, core.Options{Sink: cfg.Sink})
+	m := w.NewMachine(machine.Instrument(d, cfg.Sink), machine.Config{SampleEvery: cfg.SampleEvery})
 	rs, err := m.Run()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"dacce/internal/prog"
+	"dacce/internal/telemetry"
+)
+
+// Instrument wraps a scheme so that machine-level lifecycle events —
+// thread starts and exits, periodic samples — flow into sink alongside
+// whatever the scheme itself emits. It works for any Scheme, which is
+// what puts the PCCE/CCT/PCC/stackwalk baselines on the same event
+// stream as DACCE for apples-to-apples comparison. A nil sink returns
+// the scheme unchanged.
+func Instrument(s Scheme, sink telemetry.Sink) Scheme {
+	if sink == nil {
+		return s
+	}
+	return &instrumented{inner: s, sink: sink}
+}
+
+// instrumented forwards every Scheme call to the wrapped scheme and
+// emits the machine-visible events. It always implements SampleObserver
+// and Maintainer, forwarding to the inner scheme only when it does.
+type instrumented struct {
+	inner Scheme
+	sink  telemetry.Sink
+}
+
+// Unwrap returns the wrapped scheme.
+func (w *instrumented) Unwrap() Scheme { return w.inner }
+
+// Name implements Scheme; the report name stays the inner scheme's.
+func (w *instrumented) Name() string { return w.inner.Name() }
+
+// Install implements Scheme.
+func (w *instrumented) Install(m *Machine) { w.inner.Install(m) }
+
+// ThreadStart implements Scheme.
+func (w *instrumented) ThreadStart(t, parent *Thread) {
+	w.inner.ThreadStart(t, parent)
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvThreadStart, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: t.Entry(),
+	})
+}
+
+// ThreadExit implements Scheme.
+func (w *instrumented) ThreadExit(t *Thread) {
+	w.inner.ThreadExit(t)
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvThreadExit, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: t.SelfID(),
+	})
+}
+
+// Capture implements Scheme.
+func (w *instrumented) Capture(t *Thread) any { return w.inner.Capture(t) }
+
+// OnSample implements SampleObserver, forwarding to the inner scheme
+// when it observes samples itself (DACCE's adaptive controller does).
+func (w *instrumented) OnSample(t *Thread, capture any) {
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvSample, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: t.SelfID(),
+		Value: uint64(t.C.Samples),
+	})
+	if obs, ok := w.inner.(SampleObserver); ok {
+		obs.OnSample(t, capture)
+	}
+}
+
+// Maintain implements Maintainer, forwarding when the inner scheme
+// needs periodic control.
+func (w *instrumented) Maintain(t *Thread) {
+	if mt, ok := w.inner.(Maintainer); ok {
+		mt.Maintain(t)
+	}
+}

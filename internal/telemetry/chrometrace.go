@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Ph is the phase: "B"/"E" bracket a
+// duration span, "i" is an instant, "C" a counter series.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"` // microseconds since trace start
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// DefaultTraceCapacity bounds retained trace events.
+const DefaultTraceCapacity = 1 << 20
+
+// ccDepthStride is how often ccStack pushes contribute a counter point:
+// one "C" event per stride keeps the depth series visible without
+// recording the full flood.
+const ccDepthStride = 1024
+
+// ChromeTrace is a Sink that renders the event stream as a Chrome
+// trace-event file: every re-encoding epoch becomes one span (named by
+// its trigger reason), discrete events become instants, and the ccStack
+// depth becomes a sampled counter track. Load the output in
+// chrome://tracing or https://ui.perfetto.dev.
+type ChromeTrace struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []chromeEvent
+	cap     int
+	dropped int64
+	pushes  int64
+}
+
+// NewChromeTrace returns a trace sink retaining up to
+// DefaultTraceCapacity events.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{start: time.Now(), cap: DefaultTraceCapacity}
+}
+
+// SetCapacity overrides the retained-event bound (before emitting).
+func (c *ChromeTrace) SetCapacity(n int) { c.cap = n }
+
+func (c *ChromeTrace) add(ev chromeEvent) {
+	if len(c.events) >= c.cap {
+		c.dropped++
+		return
+	}
+	ev.Ts = time.Since(c.start).Microseconds()
+	ev.Cat = "dacce"
+	c.events = append(c.events, ev)
+}
+
+// Emit implements Sink.
+func (c *ChromeTrace) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tid := int(ev.Thread)
+	switch ev.Kind {
+	case EvReencodeStart:
+		c.add(chromeEvent{
+			Name: "reencode", Ph: "B", Tid: tid,
+			Args: map[string]any{"reason": ev.Reason.String(), "from_epoch": ev.Epoch, "edges": ev.Value},
+		})
+	case EvReencodeEnd:
+		c.add(chromeEvent{
+			Name: "reencode", Ph: "E", Tid: tid,
+			Args: map[string]any{"epoch": ev.Epoch, "cost_cycles": ev.Value, "max_id": ev.Aux},
+		})
+	case EvCCStackPush:
+		c.pushes++
+		if c.pushes%ccDepthStride == 0 {
+			c.add(chromeEvent{
+				Name: "ccstack depth", Ph: "C", Tid: tid,
+				Args: map[string]any{"depth": ev.Value},
+			})
+		}
+	case EvCCStackPop, EvHandlerTrap, EvSample:
+		// Too frequent for instants; traps and samples show up in the
+		// metrics sink instead.
+	default:
+		args := map[string]any{"epoch": ev.Epoch}
+		if ev.Site >= 0 {
+			args["site"] = fmt.Sprintf("s%d", ev.Site)
+		}
+		if ev.Fn >= 0 {
+			args["fn"] = fmt.Sprintf("f%d", ev.Fn)
+		}
+		if ev.Value != 0 {
+			args["value"] = ev.Value
+		}
+		if ev.Err {
+			args["error"] = true
+		}
+		c.add(chromeEvent{Name: ev.Kind.String(), Ph: "i", Tid: tid, Scope: "t", Args: args})
+	}
+}
+
+// Export writes the accumulated trace as a JSON object with a
+// traceEvents array — the format chrome://tracing loads directly.
+func (c *ChromeTrace) Export(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Close any span left open by an in-flight pass so the file always
+	// balances B/E pairs.
+	depth := map[int]int{}
+	for _, ev := range c.events {
+		switch ev.Ph {
+		case "B":
+			depth[ev.Tid]++
+		case "E":
+			depth[ev.Tid]--
+		}
+	}
+	events := c.events
+	for tid, d := range depth {
+		for ; d > 0; d-- {
+			events = append(events, chromeEvent{
+				Name: "reencode", Cat: "dacce", Ph: "E", Tid: tid,
+				Ts: time.Since(c.start).Microseconds(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":      events,
+		"displayTimeUnit":  "ms",
+		"dacceDroppedEvts": c.dropped,
+	})
+}
+
+// Len returns the number of retained trace events.
+func (c *ChromeTrace) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}

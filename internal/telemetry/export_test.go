@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dacce/internal/prog"
+)
+
+// chromeDoc mirrors the trace-event file shape for validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceSpans(t *testing.T) {
+	c := NewChromeTrace()
+	c.Emit(Event{Kind: EvEdgeDiscovered, Thread: 0, Site: 1, Fn: 2, Value: 1})
+	c.Emit(Event{Kind: EvReencodeStart, Thread: 0, Reason: ReasonNewEdges, Epoch: 0, Value: 24})
+	c.Emit(Event{Kind: EvReencodeEnd, Thread: 0, Reason: ReasonNewEdges, Epoch: 1, Value: 7200, Aux: 55})
+	c.Emit(Event{Kind: EvTailFixup, Thread: 1, Fn: 3, Site: prog.NoSite})
+
+	var b bytes.Buffer
+	if err := c.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var begins, ends, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			begins++
+			if ev.Name != "reencode" || ev.Args["reason"] != "new_edges" {
+				t.Errorf("unexpected B event %+v", ev)
+			}
+		case "E":
+			ends++
+		case "i":
+			instants++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("got %d B / %d E events, want 1/1", begins, ends)
+	}
+	if instants != 2 {
+		t.Errorf("got %d instants, want 2 (edge_discovered + tail_fixup)", instants)
+	}
+}
+
+func TestChromeTraceBalancesOpenSpans(t *testing.T) {
+	c := NewChromeTrace()
+	c.Emit(Event{Kind: EvReencodeStart, Thread: 2, Reason: ReasonForced})
+	var b bytes.Buffer
+	if err := c.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var begins, ends int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins != ends {
+		t.Errorf("unbalanced spans: %d B vs %d E", begins, ends)
+	}
+}
+
+func TestChromeTraceCapacity(t *testing.T) {
+	c := NewChromeTrace()
+	c.SetCapacity(2)
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Kind: EvEdgeDiscovered, Site: prog.SiteID(i)})
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want capacity 2", c.Len())
+	}
+	var b bytes.Buffer
+	if err := c.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Error("capped trace is not valid JSON")
+	}
+}
+
+func TestChromeTraceCCDepthCounter(t *testing.T) {
+	c := NewChromeTrace()
+	for i := 0; i < 2*ccDepthStride; i++ {
+		c.Emit(Event{Kind: EvCCStackPush, Value: uint64(i % 8)})
+	}
+	var b bytes.Buffer
+	if err := c.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	counters := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" {
+			counters++
+		}
+	}
+	if counters != 2 {
+		t.Errorf("got %d counter events for %d pushes, want 2", counters, 2*ccDepthStride)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3, nil)
+	for i := 0; i < 5; i++ {
+		f.Emit(Event{Kind: EvEdgeDiscovered, Site: prog.SiteID(i), Fn: prog.NoFunc, Value: uint64(i)})
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", f.Len())
+	}
+	var b bytes.Buffer
+	if err := f.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Oldest retained event is i=2; i=0 and i=1 were overwritten.
+	if strings.Contains(out, `"site":0,`) || strings.Contains(out, `"site":1,`) {
+		t.Errorf("dump contains evicted events:\n%s", out)
+	}
+	first := strings.Index(out, `"site":2`)
+	last := strings.Index(out, `"site":4`)
+	if first < 0 || last < 0 || first > last {
+		t.Errorf("dump not oldest-first:\n%s", out)
+	}
+}
+
+func TestFlightRecorderAutoDump(t *testing.T) {
+	var b bytes.Buffer
+	f := NewFlightRecorder(8, &b)
+	f.Emit(Event{Kind: EvEdgeDiscovered, Site: 1, Fn: 2})
+	f.Emit(Event{Kind: EvDecodeRequest, Fn: 2}) // success: no dump
+	if f.Dumps() != 0 || b.Len() != 0 {
+		t.Fatal("successful decode should not trigger a dump")
+	}
+	f.Emit(Event{Kind: EvDecodeRequest, Fn: 2, Err: true})
+	if f.Dumps() != 1 {
+		t.Fatalf("Dumps() = %d, want 1", f.Dumps())
+	}
+	if !strings.Contains(b.String(), "decode_request") || !strings.Contains(b.String(), "edge_discovered") {
+		t.Errorf("auto-dump missing context:\n%s", b.String())
+	}
+	b.Reset()
+	f.Emit(Event{Kind: EvIDOverflow, Site: prog.NoSite, Fn: prog.NoFunc, Value: 9, Aux: 3})
+	if f.Dumps() != 2 || !strings.Contains(b.String(), "id_overflow") {
+		t.Errorf("overflow should auto-dump (dumps=%d):\n%s", f.Dumps(), b.String())
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0, nil)
+	if len(f.ring) != DefaultFlightCapacity {
+		t.Errorf("default capacity = %d, want %d", len(f.ring), DefaultFlightCapacity)
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the default ring size of a FlightRecorder.
+const DefaultFlightCapacity = 4096
+
+// flightRec is one recorded event with its arrival offset.
+type flightRec struct {
+	At time.Duration
+	Ev Event
+}
+
+// FlightRecorder is a Sink keeping the last N events in a ring buffer —
+// a crash-dump view of what the encoder was doing. When it sees an
+// EvIDOverflow or a failed EvDecodeRequest it automatically dumps the
+// ring to its output writer, giving the events leading up to the
+// failure without recording the whole run.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	start time.Time
+	ring  []flightRec
+	next  int
+	n     int
+	out   io.Writer
+	dumps int
+}
+
+// NewFlightRecorder returns a recorder keeping the last n events
+// (DefaultFlightCapacity if n <= 0). out receives automatic dumps on
+// overflow or decode failure; nil disables auto-dumping.
+func NewFlightRecorder(n int, out io.Writer) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightCapacity
+	}
+	return &FlightRecorder{start: time.Now(), ring: make([]flightRec, n), out: out}
+}
+
+// Emit implements Sink.
+func (f *FlightRecorder) Emit(ev Event) {
+	f.mu.Lock()
+	f.ring[f.next] = flightRec{At: time.Since(f.start), Ev: ev}
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	trigger := ev.Kind == EvIDOverflow || (ev.Kind == EvDecodeRequest && ev.Err)
+	out := f.out
+	f.mu.Unlock()
+	if trigger && out != nil {
+		f.mu.Lock()
+		f.dumps++
+		f.mu.Unlock()
+		_ = f.Dump(out)
+	}
+}
+
+// Dumps returns how many automatic dumps have fired.
+func (f *FlightRecorder) Dumps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// Len returns how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// flightLine is the JSON shape of one dumped event.
+type flightLine struct {
+	AtMicros int64  `json:"at_us"`
+	Kind     string `json:"kind"`
+	Thread   int32  `json:"thread"`
+	Epoch    uint32 `json:"epoch"`
+	Site     int    `json:"site"` // -1 when no site is involved
+	Fn       int    `json:"fn"`   // -1 when no function is involved
+	Reason   string `json:"reason,omitempty"`
+	Err      bool   `json:"err,omitempty"`
+	Value    uint64 `json:"value,omitempty"`
+	Aux      uint64 `json:"aux,omitempty"`
+}
+
+// Dump writes the ring's events, oldest first, as JSON lines framed by
+// a header and trailer comment line.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	f.mu.Lock()
+	recs := make([]flightRec, 0, f.n)
+	if f.n == len(f.ring) {
+		recs = append(recs, f.ring[f.next:]...)
+		recs = append(recs, f.ring[:f.next]...)
+	} else {
+		recs = append(recs, f.ring[:f.n]...)
+	}
+	f.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "--- flight recorder: last %d events ---\n", len(recs)); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		line := flightLine{
+			AtMicros: r.At.Microseconds(),
+			Kind:     r.Ev.Kind.String(),
+			Thread:   r.Ev.Thread,
+			Epoch:    r.Ev.Epoch,
+			Site:     int(r.Ev.Site),
+			Fn:       int(r.Ev.Fn),
+			Err:      r.Ev.Err,
+			Value:    r.Ev.Value,
+			Aux:      r.Ev.Aux,
+		}
+		if r.Ev.Reason != ReasonNone {
+			line.Reason = r.Ev.Reason.String()
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "--- end flight recorder ---")
+	return err
+}

@@ -1,0 +1,281 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; obtain shared instances from a Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetUint saturates v into the int64 range and sets the gauge — id
+// budgets are uint64 and may exceed math.MaxInt64.
+func (g *Gauge) SetUint(v uint64) {
+	if v > 1<<63-1 {
+		v = 1<<63 - 1
+	}
+	g.v.Store(int64(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a bounded cumulative histogram: observations are counted
+// into len(bounds)+1 buckets where bucket i holds observations ≤
+// bounds[i] (the last bucket is +Inf). Bounds are fixed at creation, so
+// observation is lock-free.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; cumulative at exposition
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// ExpBuckets returns bounds start, start*factor, ... (n values), the
+// usual shape for depth and cost histograms.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// metricKey identifies one metric instance: a family name plus an
+// already-rendered label suffix (`{k="v",...}` or empty).
+type metricKey struct {
+	name   string
+	labels string
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: labels must be key/value pairs")
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], labels[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Registry holds named metrics and renders them in Prometheus text or
+// JSON form. Metric handles are resolved once (under a lock) and then
+// updated lock-free; exposition walks a sorted snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// Help sets the HELP string of a metric family.
+func (r *Registry) Help(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Counter returns the counter for name and the optional key/value label
+// pairs, creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for name and labels, creating it with
+// the given bucket bounds on first use (bounds are ignored afterwards).
+func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *Histogram {
+	k := metricKey{name, renderLabels(labels)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map keys ordered by (name, labels).
+func sortedKeys[V any](m map[metricKey]V) []metricKey {
+	out := make([]metricKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	seen := map[string]bool{}
+	header := func(name, typ string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if h := r.help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
+	for _, k := range sortedKeys(r.counters) {
+		header(k.name, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", k.name, k.labels, r.counters[k].Value())
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		header(k.name, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", k.name, k.labels, r.gauges[k].Value())
+	}
+	for _, k := range sortedKeys(r.hists) {
+		header(k.name, "histogram")
+		h := r.hists[k]
+		inner := strings.TrimSuffix(strings.TrimPrefix(k.labels, "{"), "}")
+		le := func(bound string) string {
+			if inner == "" {
+				return fmt.Sprintf(`{le="%s"}`, bound)
+			}
+			return fmt.Sprintf(`{%s,le="%s"}`, inner, bound)
+		}
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", k.name, le(fmt.Sprint(bound)), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", k.name, le("+Inf"), cum)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", k.name, k.labels, h.Sum())
+		fmt.Fprintf(&b, "%s_count%s %d\n", k.name, k.labels, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"` // non-cumulative; len(bounds)+1
+	Sum     int64   `json:"sum"`
+	Count   int64   `json:"count"`
+}
+
+// WriteJSON renders the registry as a single JSON object with
+// "counters", "gauges" and "histograms" sections keyed by the metric's
+// full name (including labels).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := map[string]int64{}
+	for k, c := range r.counters {
+		counters[k.name+k.labels] = c.Value()
+	}
+	gauges := map[string]int64{}
+	for k, g := range r.gauges {
+		gauges[k.name+k.labels] = g.Value()
+	}
+	hists := map[string]jsonHistogram{}
+	for k, h := range r.hists {
+		jh := jsonHistogram{
+			Bounds: append([]int64(nil), h.bounds...),
+			Sum:    h.Sum(), Count: h.Count(),
+		}
+		for i := range h.buckets {
+			jh.Buckets = append(jh.Buckets, h.buckets[i].Load())
+		}
+		hists[k.name+k.labels] = jh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}
