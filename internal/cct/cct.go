@@ -98,6 +98,14 @@ func (*Scheme) Decode(capture any) (core.Context, error) {
 	return rev, nil
 }
 
+// DecodeCapture is Decode under the uniform decode shape shared with
+// the other context trackers. The result covers the capturing thread
+// only; a spawned thread's tree is rooted at its entry function, with
+// the spawning context available separately as the parent's capture.
+func (s *Scheme) DecodeCapture(capture any) (core.Context, error) {
+	return s.Decode(capture)
+}
+
 // stub moves the cursor down on call and restores it on return. It
 // must restore to the exact pre-call node — after tail drift the
 // callee's subtree may have moved the cursor arbitrarily — so the

@@ -156,3 +156,75 @@ func (c Context) Pretty(p *prog.Program) string {
 	}
 	return s
 }
+
+// Run is a maximal run of identical consecutive frames in a context —
+// the normal form deep self-recursion compresses to. Count is the
+// total number of occurrences (≥ 1).
+type Run struct {
+	Frame ContextFrame
+	Count int
+}
+
+// Runs returns the context in run-length form: every maximal streak of
+// identical (site, fn) frames collapsed to one Run. Two contexts are
+// Equal iff their Runs are identical, but Runs survive rendering deep
+// recursion without producing thousand-frame strings, which is what
+// the differential harness diffs and reports.
+func (c Context) Runs() []Run {
+	var out []Run
+	for _, f := range c {
+		if n := len(out); n > 0 && out[n-1].Frame == f {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, Run{Frame: f, Count: 1})
+	}
+	return out
+}
+
+// Compact renders the context run-length compressed: "f0→(f7)x12→f9".
+func (c Context) Compact() string {
+	s := ""
+	for i, r := range c.Runs() {
+		if i > 0 {
+			s += "→"
+		}
+		if r.Count > 1 {
+			s += fmt.Sprintf("(f%d)x%d", r.Frame.Fn, r.Count)
+		} else {
+			s += fmt.Sprintf("f%d", r.Frame.Fn)
+		}
+	}
+	return s
+}
+
+// DiffContexts returns "" when got and want are identical frame for
+// frame, and otherwise a one-line description of the first divergence:
+// the differing index, both frames at it, and both contexts in compact
+// form. Every cross-encoder comparison in the repository reports
+// through this helper so mismatches read the same regardless of which
+// baseline produced them.
+func DiffContexts(got, want Context) string {
+	if got.Equal(want) {
+		return ""
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	frame := func(c Context, i int) string {
+		if i >= len(c) {
+			return "<end>"
+		}
+		return fmt.Sprintf("(s%d,f%d)", c[i].Site, c[i].Fn)
+	}
+	return fmt.Sprintf("first diff at frame %d: got %s want %s; got=%s (%d frames) want=%s (%d frames)",
+		at, frame(got, at), frame(want, at), got.Compact(), len(got), want.Compact(), len(want))
+}

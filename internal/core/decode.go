@@ -56,6 +56,17 @@ func (d *DACCE) DecodeSample(s machine.Sample) (Context, error) {
 	return d.Decode(c)
 }
 
+// DecodeCapture decodes an untyped scheme capture — the uniform decode
+// shape every context tracker in the repository exposes, so the
+// differential harness compares them without per-package conversions.
+func (d *DACCE) DecodeCapture(capture any) (Context, error) {
+	c, ok := capture.(*Capture)
+	if !ok {
+		return nil, fmt.Errorf("core: capture is %T, not a DACCE capture", capture)
+	}
+	return d.Decode(c)
+}
+
 func (dec *Decoder) decodeLocked(c *Capture, withSpawn bool) (Context, error) {
 	var prefix Context
 	if withSpawn && c.Spawn != nil {

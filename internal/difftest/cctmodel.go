@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"fmt"
+
+	"dacce/internal/core"
+	"dacce/internal/prog"
+	"dacce/internal/trace"
+)
+
+// cctExpected is a pure reference model of the CCT baseline's cursor
+// semantics, evaluated directly over the trace: each non-tail call
+// saves the cursor path and descends, each tail call descends without
+// saving, and each return restores the most recent save. Samples fire
+// on the machine's cadence — every sampleEvery-th call, captured
+// before the call executes — so the k-th returned context of a thread
+// is what the CCT scheme must decode for sample (thread, k).
+//
+// Crucially the model reproduces the documented tail-call drift of the
+// CCT approach (captures after a tail callee returned stay attributed
+// to the tail path until the enclosing call returns), which makes this
+// a model-vs-implementation check rather than a truth check: the CCT
+// replay must match the model exactly, drift included.
+func cctExpected(p *prog.Program, tr *trace.Trace, sampleEvery int64) ([][]core.Context, error) {
+	out := make([][]core.Context, len(tr.Streams))
+	for ti, evs := range tr.Streams {
+		cur := core.Context{{Site: prog.NoSite, Fn: tr.Entries[ti]}}
+		var saved []core.Context
+		var samples []core.Context
+		var since int64
+		for j, ev := range evs {
+			switch ev.Kind {
+			case trace.EvCall:
+				if sampleEvery > 0 {
+					since++
+					if since >= sampleEvery {
+						since = 0
+						samples = append(samples, append(core.Context(nil), cur...))
+					}
+				}
+				if !p.Site(ev.Site).Kind.IsTail() {
+					saved = append(saved, cur)
+				}
+				next := make(core.Context, len(cur)+1)
+				copy(next, cur)
+				next[len(cur)] = core.ContextFrame{Site: ev.Site, Fn: ev.Target}
+				cur = next
+			case trace.EvReturn:
+				if len(saved) == 0 {
+					return nil, fmt.Errorf("thread %d event %d: unmatched return", ti, j)
+				}
+				cur = saved[len(saved)-1]
+				saved = saved[:len(saved)-1]
+			}
+		}
+		out[ti] = samples
+	}
+	return out, nil
+}

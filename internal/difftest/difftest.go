@@ -1,0 +1,362 @@
+package difftest
+
+import (
+	"fmt"
+
+	"dacce/internal/cct"
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/pcc"
+	"dacce/internal/pcce"
+	"dacce/internal/prog"
+	"dacce/internal/stackwalk"
+	"dacce/internal/telemetry"
+	"dacce/internal/trace"
+	"dacce/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Sink receives the telemetry of every replay — the DACCE encoder's
+	// own events plus one EvDivergence per recorded mismatch, which is
+	// what makes a flight recorder auto-dump on a found divergence.
+	Sink telemetry.Sink
+	// MaxDivergences caps how many divergences are recorded (and
+	// emitted) in detail; the per-encoder counts keep counting past the
+	// cap. Default 64.
+	MaxDivergences int
+}
+
+// Divergence is one disagreement between a tracker and the oracle at
+// one query point.
+type Divergence struct {
+	Encoder string `json:"encoder"`
+	Thread  int    `json:"thread"`
+	Seq     int64  `json:"seq"`
+	Fn      int    `json:"fn"`
+	Epoch   uint32 `json:"epoch,omitempty"`
+	// Kind classifies the failure: "decode-error", "context-mismatch",
+	// "value-mismatch" (PCC), or "alignment" (a replay failed to
+	// reproduce the query point itself).
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s sample %d/%d at f%d epoch %d: %s: %s",
+		d.Encoder, d.Thread, d.Seq, d.Fn, d.Epoch, d.Kind, d.Detail)
+}
+
+// EncoderReport summarizes one tracker's replay.
+type EncoderReport struct {
+	Queries     int `json:"queries"`
+	Divergences int `json:"divergences"`
+}
+
+// Result is the outcome of one harness run.
+type Result struct {
+	Spec    Spec `json:"spec"`
+	Events  int  `json:"events"`
+	Threads int  `json:"threads"`
+	// Samples is the number of query points checked per tracker.
+	Samples int `json:"samples"`
+	// Epochs is how many re-encoding passes the DACCE replay went
+	// through — the epoch-boundary coverage of the run.
+	Epochs      uint32                    `json:"epochs"`
+	Encoders    map[string]*EncoderReport `json:"encoders"`
+	Divergences []Divergence              `json:"divergences,omitempty"`
+	// Dropped counts divergences beyond Options.MaxDivergences that
+	// were counted but not recorded in detail.
+	Dropped       int   `json:"dropped_divergences,omitempty"`
+	PCCCollisions int64 `json:"pcc_collisions"`
+	PCCDistinct   int64 `json:"pcc_distinct"`
+}
+
+// Diverged reports whether any tracker disagreed at any query point.
+func (r *Result) Diverged() bool {
+	for _, rep := range r.Encoders {
+		if rep.Divergences > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// aggressiveOptions returns the DACCE options the harness replays
+// under: the property-test trigger levels, tuned so that small runs
+// still exercise re-encoding, recursion compression and indirect
+// promotion.
+func aggressiveOptions(sink telemetry.Sink) core.Options {
+	return core.Options{
+		Trig:              core.Triggers{NewEdges: 4, UnencodedCalls: 64, CCOps: 128, HotMissSamples: 4},
+		CompressMinPushes: 4,
+		InlineThreshold:   2,
+		Sink:              sink,
+	}
+}
+
+// Run executes one full differential check: build the spec's workload,
+// record its trace once, then replay the identical trace under every
+// selected tracker, checking each query point against the oracle.
+func Run(spec Spec, opt Options) (*Result, error) {
+	spec = spec.withDefaults()
+	w, err := workload.Build(spec.Profile)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := trace.NewRecorder()
+	rm := w.NewMachine(rec, machine.Config{DropSamples: true})
+	if _, err := rm.Run(); err != nil {
+		return nil, fmt.Errorf("difftest: recording run: %w", err)
+	}
+	tr := rec.Trace()
+	truncateTrace(tr, spec.MaxEvents)
+
+	var prof pcce.Profile
+	if spec.wants("pcce") {
+		p, err := w.CollectProfile()
+		if err != nil {
+			return nil, fmt.Errorf("difftest: profiling run: %w", err)
+		}
+		prof = pcce.Profile(p)
+	}
+	return runTrace(w.P, tr, prof, spec, opt)
+}
+
+// RunTrace checks an explicit trace (synthesized or loaded) instead of
+// recording one from the spec's workload; the spec supplies the
+// harness knobs. The trace must replay on p (trace.ReplayProgram
+// validates it). PCCE replays without a profile here, as a purely
+// static encoder.
+func RunTrace(p *prog.Program, tr *trace.Trace, spec Spec, opt Options) (*Result, error) {
+	spec = spec.withDefaults()
+	return runTrace(p, tr, nil, spec, opt)
+}
+
+// truncateTrace cuts each thread's stream to at most max events. Any
+// prefix of a valid stream is valid: calls left open at the cut unwind
+// naturally when the replay bodies run out of events.
+func truncateTrace(tr *trace.Trace, max int) {
+	if max <= 0 {
+		return
+	}
+	for i, s := range tr.Streams {
+		if len(s) > max {
+			tr.Streams[i] = s[:max]
+		}
+	}
+}
+
+// sampleKey identifies one query point across replays.
+type sampleKey struct {
+	thread int
+	seq    int64
+}
+
+func runTrace(p *prog.Program, tr *trace.Trace, prof pcce.Profile, spec Spec, opt Options) (*Result, error) {
+	if opt.MaxDivergences <= 0 {
+		opt.MaxDivergences = 64
+	}
+	res := &Result{
+		Spec:     spec,
+		Events:   tr.NumEvents(),
+		Threads:  tr.NumThreads(),
+		Encoders: make(map[string]*EncoderReport),
+	}
+	// truth pins the ground-truth context of every query point, set by
+	// the first replay: all trackers are checked against the same
+	// instants, so agreement with truth at every key is cross-encoder
+	// equivalence, and a key mismatch is itself a divergence.
+	truth := make(map[sampleKey]string)
+	for _, name := range spec.Encoders {
+		if err := runEncoder(name, p, tr, prof, spec, opt, res, truth); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile, spec Spec, opt Options, res *Result, truth map[sampleKey]string) error {
+	rp, err := trace.ReplayProgram(p, tr)
+	if err != nil {
+		return fmt.Errorf("difftest: %s: %w", name, err)
+	}
+	rep := &EncoderReport{}
+	res.Encoders[name] = rep
+
+	var sch machine.Scheme
+	var d *core.DACCE
+	var ps *pcce.Scheme
+	var cs *cct.Scheme
+	var sw *stackwalk.Scheme
+	var pc *pcc.Scheme
+	switch name {
+	case "dacce":
+		d = core.New(rp, aggressiveOptions(opt.Sink))
+		sch = ForceEpochs(d, spec.ForceEpochEvery)
+		if spec.Mutation != "" {
+			sch = Mutate(sch, Mutation(spec.Mutation))
+		}
+	case "pcce":
+		ps = pcce.New(rp, prof, pcce.Options{})
+		sch = ps
+	case "cct":
+		cs = cct.New()
+		sch = cs
+	case "stackwalk":
+		sw = stackwalk.New()
+		sch = sw
+	case "pcc":
+		pc = pcc.New()
+		sch = pc
+	default:
+		return fmt.Errorf("difftest: unknown encoder %q (want one of %v)", name, AllEncoders)
+	}
+
+	m := machine.New(rp, sch, machine.Config{SampleEvery: spec.SampleEvery, Seed: spec.Profile.Seed + 1})
+	rs, err := m.Run()
+	if err != nil {
+		return fmt.Errorf("difftest: %s replay: %w", name, err)
+	}
+
+	spawnShadow := make(map[int][]machine.Frame)
+	for _, th := range m.Threads() {
+		spawnShadow[th.ID()] = th.SpawnShadow
+	}
+
+	var cctModel [][]core.Context
+	if name == "cct" {
+		cctModel, err = cctExpected(rp, tr, spec.SampleEvery)
+		if err != nil {
+			return fmt.Errorf("difftest: cct model: %w", err)
+		}
+	}
+
+	report := func(s machine.Sample, epoch uint32, kind, detail string) {
+		rep.Divergences++
+		if len(res.Divergences) >= opt.MaxDivergences {
+			res.Dropped++
+			return
+		}
+		div := Divergence{
+			Encoder: name, Thread: s.Thread, Seq: s.Seq, Fn: int(s.Fn),
+			Epoch: epoch, Kind: kind, Detail: detail,
+		}
+		res.Divergences = append(res.Divergences, div)
+		if opt.Sink != nil {
+			opt.Sink.Emit(telemetry.Event{
+				Kind: telemetry.EvDivergence, Thread: int32(s.Thread),
+				Epoch: epoch, Site: prog.NoSite, Fn: s.Fn,
+				Err: true, Value: uint64(s.Seq),
+			})
+		}
+	}
+
+	for _, s := range rs.Samples {
+		rep.Queries++
+		want := core.ShadowContext(spawnShadow[s.Thread], s.Shadow)
+		k := sampleKey{thread: s.Thread, seq: s.Seq}
+		if prev, ok := truth[k]; !ok {
+			truth[k] = want.String()
+		} else if prev != want.String() {
+			report(s, 0, "alignment", fmt.Sprintf("replay reached %s here, first replay saw %s", want.Compact(), prev))
+			continue
+		}
+
+		switch name {
+		case "dacce":
+			epoch := uint32(0)
+			if c, ok := s.Capture.(*core.Capture); ok {
+				epoch = c.Epoch
+			}
+			ctx, err := d.DecodeCapture(s.Capture)
+			if err != nil {
+				report(s, epoch, "decode-error", err.Error())
+			} else if msg := core.DiffContexts(ctx, want); msg != "" {
+				report(s, epoch, "context-mismatch", msg)
+			}
+		case "pcce":
+			ctx, err := ps.DecodeCapture(s.Capture)
+			if err != nil {
+				report(s, 0, "decode-error", err.Error())
+			} else if msg := core.DiffContexts(ctx, want); msg != "" {
+				report(s, 0, "context-mismatch", msg)
+			}
+		case "stackwalk":
+			ctx, err := sw.DecodeCapture(s.Capture)
+			wantPhys := physicalContext(spawnShadow[s.Thread], s.Shadow)
+			if err != nil {
+				report(s, 0, "decode-error", err.Error())
+			} else if msg := core.DiffContexts(ctx, wantPhys); msg != "" {
+				report(s, 0, "context-mismatch", msg)
+			}
+		case "cct":
+			ctx, err := cs.DecodeCapture(s.Capture)
+			switch {
+			case err != nil:
+				report(s, 0, "decode-error", err.Error())
+			case s.Thread >= len(cctModel) || s.Seq >= int64(len(cctModel[s.Thread])):
+				report(s, 0, "alignment", fmt.Sprintf("no model context for sample %d/%d", s.Thread, s.Seq))
+			default:
+				if msg := core.DiffContexts(ctx, cctModel[s.Thread][s.Seq]); msg != "" {
+					report(s, 0, "context-mismatch", msg)
+				}
+			}
+		case "pcc":
+			v, ok := s.Capture.(pcc.Value)
+			if !ok {
+				report(s, 0, "decode-error", fmt.Sprintf("capture is %T, not a pcc.Value", s.Capture))
+				break
+			}
+			if exp := pcc.Expected(openSites(want)); v != exp {
+				report(s, 0, "value-mismatch", fmt.Sprintf("hash %d, expected fold %d over %s", v, exp, want.Compact()))
+			}
+			pc.Observe(v, want.String())
+		}
+	}
+
+	if rep.Queries > res.Samples {
+		res.Samples = rep.Queries
+	}
+	switch name {
+	case "dacce":
+		res.Epochs = d.Epoch()
+	case "pcc":
+		res.PCCCollisions, res.PCCDistinct = pc.Collisions()
+	}
+	return nil
+}
+
+// physicalContext is what a stack walker must report at a query point:
+// the shadow stack (and the spawn prefix) with every frame that
+// tail-called onward removed, since tail calls reuse their caller's
+// physical frame. The filter runs per slice, matching how the
+// stackwalk scheme captured the spawn prefix from the parent thread.
+func physicalContext(spawn, shadow []machine.Frame) core.Context {
+	phys := func(fs []machine.Frame) []machine.Frame {
+		out := make([]machine.Frame, 0, len(fs))
+		for i, f := range fs {
+			if i+1 < len(fs) && fs[i+1].Tail {
+				continue
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	return core.ShadowContext(phys(spawn), phys(shadow))
+}
+
+// openSites lists the call sites of every non-root frame of a true
+// context, in order — the fold input for pcc.Expected. The spawn
+// inheritance of PCC (a child starts from the parent's hash) falls out
+// naturally: the true context already prepends the spawn path.
+func openSites(ctx core.Context) []prog.SiteID {
+	out := make([]prog.SiteID, 0, len(ctx))
+	for _, f := range ctx {
+		if f.Site != prog.NoSite {
+			out = append(out, f.Site)
+		}
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package difftest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dacce/internal/difftest"
+	"dacce/internal/telemetry"
+	"dacce/internal/workload"
+)
+
+// TestDiffOracleCleanSeeds is the harness's baseline claim: with no
+// injected fault, a spread of randomized workloads replays through
+// every tracker with zero divergences, while still crossing several
+// re-encoding epochs.
+func TestDiffOracleCleanSeeds(t *testing.T) {
+	epochs := uint32(0)
+	for seed := uint64(1); seed <= 6; seed++ {
+		spec := difftest.RandomSpec(seed)
+		res, err := difftest.Run(spec, difftest.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		if res.Diverged() {
+			t.Fatalf("seed %d diverged (%d recorded, %d dropped)", seed, len(res.Divergences), res.Dropped)
+		}
+		if res.Samples == 0 {
+			t.Errorf("seed %d: no query points", seed)
+		}
+		for name, rep := range res.Encoders {
+			if rep.Queries == 0 {
+				t.Errorf("seed %d: %s answered no queries", seed, name)
+			}
+		}
+		if res.Epochs > epochs {
+			epochs = res.Epochs
+		}
+	}
+	if epochs < 2 {
+		t.Errorf("no clean seed crossed 2 epochs (max %d); the oracle is not exercising re-encoding", epochs)
+	}
+}
+
+// TestDiffSeededMutationCaught is the harness's self-test: a fault
+// planted in a scratch copy of the DACCE encoder must surface as a
+// divergence, and only against the mutated encoder.
+func TestDiffSeededMutationCaught(t *testing.T) {
+	catch := func(t *testing.T, spec difftest.Spec) *difftest.Result {
+		t.Helper()
+		res, err := difftest.Run(spec, difftest.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Mutation, err)
+		}
+		for _, d := range res.Divergences {
+			if d.Encoder != "dacce" {
+				t.Errorf("mutation %s leaked into encoder %s: %s", spec.Mutation, d.Encoder, d)
+			}
+		}
+		return res
+	}
+
+	t.Run("skew-id", func(t *testing.T) {
+		spec := difftest.RandomSpec(1)
+		spec.Mutation = string(difftest.MutSkewID)
+		if res := catch(t, spec); !res.Diverged() {
+			t.Fatal("skewed context ids went unnoticed")
+		}
+	})
+	t.Run("stale-epoch", func(t *testing.T) {
+		spec := difftest.RandomSpec(2)
+		spec.Mutation = string(difftest.MutStaleEpoch)
+		spec.ForceEpochEvery = 8 // plenty of post-epoch captures to mistag
+		if res := catch(t, spec); !res.Diverged() {
+			t.Fatal("stale-epoch captures went unnoticed")
+		}
+	})
+	t.Run("drop-repetition", func(t *testing.T) {
+		// The fault only fires on captures whose ccStack carries a
+		// compressed recursion count, so scan seeds until a workload
+		// recursive enough to produce one shows up (deterministically).
+		for seed := uint64(1); seed <= 12; seed++ {
+			spec := difftest.RandomSpec(seed)
+			spec.Mutation = string(difftest.MutDropRepetition)
+			if res := catch(t, spec); res.Diverged() {
+				return
+			}
+		}
+		t.Fatal("dropped repetition counts went unnoticed across 12 seeds")
+	})
+}
+
+// TestDiffShrinkMinimizes checks the delta-debugging loop end to end:
+// a failing spec shrinks to a single-threaded, strictly smaller spec
+// that still fails, and prints as a pasteable regression test.
+func TestDiffShrinkMinimizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking re-runs the harness many times")
+	}
+	orig := difftest.RandomSpec(3)
+	orig.Mutation = string(difftest.MutSkewID)
+	orig.Encoders = []string{"dacce"}
+	if !difftest.DefaultCheck(orig) {
+		t.Fatal("seed spec does not fail; nothing to shrink")
+	}
+	small, accepted := difftest.Shrink(orig, nil, 40)
+	if !difftest.DefaultCheck(small) {
+		t.Fatal("shrunk spec no longer fails")
+	}
+	if small.Profile.Threads != 1 {
+		t.Errorf("shrunk spec still has %d threads", small.Profile.Threads)
+	}
+	if small.Profile.TotalCalls > orig.Profile.TotalCalls {
+		t.Errorf("shrunk call budget %d exceeds original %d", small.Profile.TotalCalls, orig.Profile.TotalCalls)
+	}
+	if accepted == 0 {
+		t.Error("shrinker accepted no reductions on an unminimized spec")
+	}
+
+	var buf bytes.Buffer
+	if err := difftest.WriteRegressionTest(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{"func TestDiffRegressionSeed", "difftest.Run", "t.Errorf"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("regression test output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestDiffReplayFromSeedFile checks the committed seed corpus: the
+// clean seed file replays with zero divergences and a bit-identical
+// report across runs, and the mutant seed file reproduces its failure.
+func TestDiffReplayFromSeedFile(t *testing.T) {
+	clean, err := difftest.LoadSpec(filepath.Join("testdata", "clean-seed42.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Profile.Threads != 1 {
+		t.Fatalf("committed clean spec must be single-threaded for exact determinism, has %d threads", clean.Profile.Threads)
+	}
+	first, err := difftest.Run(clean, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Diverged() {
+		for _, d := range first.Divergences {
+			t.Errorf("clean seed: %s", d)
+		}
+		t.Fatal("committed clean seed diverged")
+	}
+	second, err := difftest.Run(clean, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(first)
+	j2, _ := json.Marshal(second)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("replaying the committed seed twice produced different reports:\n%s\n%s", j1, j2)
+	}
+
+	mutant, err := difftest.LoadSpec(filepath.Join("testdata", "mutant-skew-id.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := difftest.Run(mutant, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged() {
+		t.Fatal("committed mutant seed no longer reproduces its divergence")
+	}
+}
+
+// TestDiffStressConcurrent runs the live multi-threaded stress driver:
+// externally forced re-encoding passes racing real workload threads,
+// with per-thread (id, ccStack) consistency checked afterwards. Run
+// with -race for the interesting half of the assertion.
+func TestDiffStressConcurrent(t *testing.T) {
+	pr := workload.RandomProfile(7, 50, 20, 30, 2)
+	pr.Threads = 3
+	pr.TotalCalls = 30_000
+	spec := difftest.Spec{Profile: pr, SampleEvery: 5}
+	rep, err := difftest.Stress(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("stress: %s", d)
+	}
+	if rep.Diverged() {
+		t.Fatalf("stress run diverged (%d recorded, %d dropped)", len(rep.Divergences), rep.Dropped)
+	}
+	if rep.Samples == 0 {
+		t.Error("stress run validated no samples")
+	}
+	if rep.ForcedPasses == 0 {
+		t.Error("forcer goroutines never ran")
+	}
+	if rep.Epochs == 0 {
+		t.Error("no re-encoding pass completed despite external forcing")
+	}
+	if rep.Threads < 3 {
+		t.Errorf("stress ran %d threads, want at least 3", rep.Threads)
+	}
+}
+
+// TestDiffFlightRecorderDump wires the harness to the telemetry flight
+// recorder: the first divergence must trigger an automatic dump whose
+// JSON lines include the triggering divergence event.
+func TestDiffFlightRecorderDump(t *testing.T) {
+	var dump bytes.Buffer
+	fr := telemetry.NewFlightRecorder(128, &dump)
+	spec := difftest.RandomSpec(1)
+	spec.Mutation = string(difftest.MutSkewID)
+	spec.Encoders = []string{"dacce"}
+	res, err := difftest.Run(spec, difftest.Options{Sink: fr, MaxDivergences: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged() {
+		t.Fatal("mutated run did not diverge; nothing to dump")
+	}
+	if fr.Dumps() == 0 {
+		t.Fatal("divergence did not trigger a flight-recorder dump")
+	}
+	out := dump.String()
+	if !strings.Contains(out, `"kind":"divergence"`) {
+		t.Errorf("dump does not contain the divergence event:\n%.2000s", out)
+	}
+	if !strings.Contains(out, "--- flight recorder:") {
+		t.Errorf("dump missing frame header:\n%.400s", out)
+	}
+}

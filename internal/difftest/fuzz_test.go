@@ -1,0 +1,128 @@
+package difftest_test
+
+import (
+	"strings"
+	"testing"
+
+	"dacce/internal/difftest"
+	"dacce/internal/prog"
+	"dacce/internal/trace"
+	"dacce/internal/workload"
+)
+
+// FuzzDiffSpec feeds arbitrary workload shapes into the differential
+// checker: any divergence the fuzzer can provoke between the encoders
+// on a recorded trace is a real bug in one of them.
+func FuzzDiffSpec(f *testing.F) {
+	f.Add(uint64(1), byte(10), byte(20), byte(30), byte(40))
+	f.Add(uint64(7), byte(200), byte(3), byte(77), byte(5))
+	f.Add(uint64(42), byte(119), byte(64), byte(7), byte(255))
+	f.Fuzz(func(t *testing.T, seed uint64, a, b, c, d byte) {
+		pr := workload.RandomProfile(seed, a, b, c, d)
+		pr.TotalCalls = 2_500
+		if pr.Threads > 2 {
+			pr.Threads = 2
+		}
+		spec := difftest.Spec{Profile: pr, SampleEvery: 5, ForceEpochEvery: 6}
+		res, err := difftest.Run(spec, difftest.Options{MaxDivergences: 8})
+		if err != nil {
+			if strings.Contains(err.Error(), "difftest:") {
+				t.Fatal(err) // recording or replay broke, not workload generation
+			}
+			t.Skip(err)
+		}
+		for _, div := range res.Divergences {
+			t.Errorf("%s", div)
+		}
+		if res.Diverged() {
+			t.Fatalf("divergence on seed=%d a=%d b=%d c=%d d=%d", seed, a, b, c, d)
+		}
+	})
+}
+
+// FuzzDiffTrace bypasses the workload generator entirely: raw bytes
+// drive a synthetic event stream over a fixed program — calls through
+// whatever sites the current function owns, tail chains, indirect
+// targets both declared and undeclared, early cut-offs — and the whole
+// stream replays through every encoder. This reaches trace shapes the
+// seeded workload bodies never emit.
+func FuzzDiffTrace(f *testing.F) {
+	pr := workload.RandomProfile(99, 30, 10, 44, 3)
+	pr.Threads = 1
+	w, err := workload.Build(pr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := w.P
+	f.Add([]byte{1, 2, 3, 5, 8, 13, 21, 34, 2, 2, 0, 9, 9, 9})
+	f.Add([]byte("synthesize-a-deep-tail-chain-please-and-return"))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := synthTrace(p, data)
+		if tr.NumEvents() == 0 {
+			t.Skip("bytes produced no events")
+		}
+		spec := difftest.Spec{Profile: pr, SampleEvery: 3, ForceEpochEvery: 5}
+		res, err := difftest.RunTrace(p, tr, spec, difftest.Options{MaxDivergences: 8})
+		if err != nil {
+			t.Fatalf("replaying synthesized trace: %v", err)
+		}
+		for _, div := range res.Divergences {
+			t.Errorf("%s", div)
+		}
+		if res.Diverged() {
+			t.Fatal("divergence on synthesized trace")
+		}
+	})
+}
+
+// synthTrace maps fuzz bytes onto a valid single-thread event stream
+// over p. The generator tracks the current function and the stack of
+// open non-tail callers, so every emitted call goes through a site the
+// current function actually owns — the one structural invariant a real
+// execution could never violate. Everything else (ordering, depth,
+// where the stream cuts off) is up to the bytes.
+func synthTrace(p *prog.Program, data []byte) *trace.Trace {
+	const maxEvents = 2048
+	const maxDepth = 48
+	cur := p.Entry
+	var stack []prog.FuncID
+	var evs []trace.Event
+	for _, b := range data {
+		if len(evs) >= maxEvents {
+			break
+		}
+		sites := p.Funcs[cur].Sites
+		if b%4 == 0 || len(sites) == 0 || len(stack) >= maxDepth {
+			if len(stack) == 0 {
+				break
+			}
+			evs = append(evs, trace.Event{Kind: trace.EvReturn})
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		s := p.Site(sites[int(b/4)%len(sites)])
+		target := s.Target
+		switch {
+		case s.Kind == prog.PLT:
+			target = p.PLT[s.ID]
+		case s.Kind.IsIndirect():
+			if len(s.Declared) > 0 && b%3 != 0 {
+				target = s.Declared[int(b)%len(s.Declared)]
+			} else {
+				// Undeclared target: a points-to false negative, the case
+				// static encoders must survive via their runtime fallback.
+				target = prog.FuncID(int(b) % p.NumFuncs())
+			}
+		}
+		evs = append(evs, trace.Event{Kind: trace.EvCall, Site: s.ID, Target: target})
+		if s.Kind.IsTail() {
+			cur = target
+		} else {
+			stack = append(stack, cur)
+			cur = target
+		}
+	}
+	return &trace.Trace{Entries: []prog.FuncID{p.Entry}, Streams: [][]trace.Event{evs}}
+}

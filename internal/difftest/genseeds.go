@@ -1,0 +1,49 @@
+//go:build ignore
+
+// Generates the committed seed corpus under testdata/.
+//
+//	go run genseeds.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dacce/internal/difftest"
+)
+
+func main() {
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	clean := difftest.RandomSpec(42)
+	clean.Profile.Threads = 1 // single thread => bit-identical reports across runs
+	res, err := difftest.Run(clean, difftest.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Diverged() {
+		log.Fatalf("clean seed diverged: %v", res.Divergences)
+	}
+	fmt.Printf("clean seed: %d samples, %d epochs, 0 divergences\n", res.Samples, res.Epochs)
+	if err := difftest.SaveSpec("testdata/clean-seed42.json", clean); err != nil {
+		log.Fatal(err)
+	}
+
+	mutant := difftest.RandomSpec(7)
+	mutant.Mutation = string(difftest.MutSkewID)
+	mutant.Encoders = []string{"dacce"}
+	res, err = difftest.Run(mutant, difftest.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Diverged() {
+		log.Fatal("mutant seed does not diverge")
+	}
+	fmt.Printf("mutant seed: %d divergences recorded\n", len(res.Divergences))
+	if err := difftest.SaveSpec("testdata/mutant-skew-id.json", mutant); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+)
+
+// Check reports whether a candidate spec still reproduces the failure
+// being minimized.
+type Check func(Spec) bool
+
+// DefaultCheck runs the harness on the candidate and reports whether
+// any divergence survived. Build or replay errors count as "not
+// reproduced" so the shrinker never walks into invalid specs.
+func DefaultCheck(spec Spec) bool {
+	res, err := Run(spec, Options{MaxDivergences: 1})
+	return err == nil && res.Diverged()
+}
+
+// shrinkPass is one reduction the shrinker may apply. apply mutates
+// the candidate and reports false when it is a no-op on this spec (the
+// pass is skipped without spending a check).
+type shrinkPass struct {
+	name  string
+	apply func(*Spec) bool
+}
+
+func halve(v *int64, floor int64) bool {
+	if *v <= floor {
+		return false
+	}
+	*v /= 2
+	if *v < floor {
+		*v = floor
+	}
+	return true
+}
+
+func halveInt(v *int, floor int) bool {
+	if *v <= floor {
+		return false
+	}
+	*v /= 2
+	if *v < floor {
+		*v = floor
+	}
+	return true
+}
+
+func zeroInt(v *int) bool {
+	if *v == 0 {
+		return false
+	}
+	*v = 0
+	return true
+}
+
+// shrinkPasses is the ordered reduction schedule: determinism first
+// (one thread), then the big lever (call budget), then whole features,
+// then structure, then the trace itself.
+func shrinkPasses() []shrinkPass {
+	return []shrinkPass{
+		{"threads=1", func(s *Spec) bool {
+			if s.Profile.Threads <= 1 {
+				return false
+			}
+			s.Profile.Threads = 1
+			return true
+		}},
+		{"halve-calls", func(s *Spec) bool { return halve(&s.Profile.TotalCalls, 500) }},
+		{"drop-tail-sites", func(s *Spec) bool { return zeroInt(&s.Profile.TailSites) }},
+		{"drop-indirect-sites", func(s *Spec) bool { return zeroInt(&s.Profile.IndirectSites) }},
+		{"drop-rec-sites", func(s *Spec) bool { return zeroInt(&s.Profile.RecSites) }},
+		{"drop-lazy-modules", func(s *Spec) bool {
+			if s.Profile.LazyModules == 0 && s.Profile.LazyFuncs == 0 {
+				return false
+			}
+			s.Profile.LazyModules, s.Profile.LazyFuncs = 0, 0
+			return true
+		}},
+		{"one-phase", func(s *Spec) bool {
+			if s.Profile.Phases <= 1 {
+				return false
+			}
+			s.Profile.Phases = 1
+			return true
+		}},
+		{"drop-cold-structure", func(s *Spec) bool {
+			if !s.Profile.ColdCycles && !s.Profile.HotIndirect &&
+				s.Profile.StaticFuncs <= s.Profile.ExecFuncs && s.Profile.StaticEdges <= s.Profile.ExecEdges {
+				return false
+			}
+			s.Profile.ColdCycles, s.Profile.HotIndirect = false, false
+			s.Profile.StaticFuncs = s.Profile.ExecFuncs
+			s.Profile.StaticEdges = s.Profile.ExecEdges
+			return true
+		}},
+		{"halve-funcs", func(s *Spec) bool {
+			if !halveInt(&s.Profile.ExecFuncs, 10) {
+				return false
+			}
+			if s.Profile.StaticFuncs > s.Profile.ExecFuncs {
+				s.Profile.StaticFuncs = s.Profile.ExecFuncs
+			}
+			return true
+		}},
+		{"halve-edges", func(s *Spec) bool {
+			if !halveInt(&s.Profile.ExecEdges, s.Profile.ExecFuncs) {
+				return false
+			}
+			if s.Profile.StaticEdges > s.Profile.ExecEdges {
+				s.Profile.StaticEdges = s.Profile.ExecEdges
+			}
+			return true
+		}},
+		{"halve-layers", func(s *Spec) bool { return halveInt(&s.Profile.Layers, 2) }},
+		{"halve-events", func(s *Spec) bool {
+			if s.MaxEvents == 0 {
+				// Seed the trace cut from the call budget: each call is
+				// at most two events (call + return) on one stream.
+				s.MaxEvents = int(2 * s.Profile.TotalCalls)
+			}
+			if s.MaxEvents <= 64 {
+				return false
+			}
+			s.MaxEvents /= 2
+			return true
+		}},
+	}
+}
+
+// Shrink delta-debugs a failing spec to a smaller one that still fails
+// check (DefaultCheck when nil), spending at most budget check runs
+// (default 150). It greedily repeats each reduction pass while the
+// failure persists and loops the schedule to a fixpoint. The input
+// spec must already fail check; the minimized spec and the number of
+// accepted reductions are returned.
+//
+// Reductions are applied to the workload profile and the trace cut
+// only — never to the failure-relevant knobs (mutation, encoders,
+// sampling) — so the reproducer keeps failing for the original reason.
+// Multi-threaded failures are reduced to one thread first: with a
+// single thread the whole run is deterministic, which is what makes
+// the final reproducer replay exactly.
+func Shrink(spec Spec, check Check, budget int) (Spec, int) {
+	if check == nil {
+		check = DefaultCheck
+	}
+	if budget <= 0 {
+		budget = 150
+	}
+	spec = spec.withDefaults()
+	accepted, tries := 0, 0
+	passes := shrinkPasses()
+	for changed := true; changed && tries < budget; {
+		changed = false
+		for _, p := range passes {
+			for tries < budget {
+				cand := spec
+				if !p.apply(&cand) {
+					break
+				}
+				tries++
+				if !check(cand) {
+					break
+				}
+				spec = cand
+				accepted++
+				changed = true
+			}
+		}
+	}
+	return spec, accepted
+}
+
+// WriteRegressionTest renders a minimized spec as a ready-to-paste Go
+// regression test: a _test.go function that re-runs the spec through
+// the harness and fails on any divergence. Paste it into a package
+// that imports dacce/internal/difftest (the repository keeps such
+// regressions next to the harness itself).
+func WriteRegressionTest(w io.Writer, spec Spec) error {
+	name := fmt.Sprintf("TestDiffRegressionSeed%d", spec.Profile.Seed)
+	_, err := fmt.Fprintf(w, `// %s reproduces a cross-encoder divergence found and
+// minimized by the differential harness (daccedifftest -shrink).
+func %s(t *testing.T) {
+	spec := %#v
+	res, err := difftest.Run(spec, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %%s", d)
+	}
+	if res.Dropped > 0 {
+		t.Errorf("%%d further divergences dropped", res.Dropped)
+	}
+}
+`, name, name, spec)
+	return err
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dacce/internal/difftest"
+	"dacce/internal/stats"
+	"dacce/internal/workload"
+)
+
+// DifferentialRow summarizes one benchmark's pass through the
+// cross-encoder differential oracle.
+type DifferentialRow struct {
+	Name        string
+	Events      int
+	Queries     int
+	Epochs      uint32
+	Divergences int
+}
+
+// DifferentialTable runs the differential oracle over the named Table 1
+// benchmarks (all of them when names is empty) with epoch forcing on,
+// and renders a summary table to w (nil skips rendering). cfg.Calls
+// overrides each profile's call budget — the CI short-budget job uses a
+// small override — and cfg.Sink receives the replays' telemetry,
+// including an EvDivergence per disagreement. Any divergence is
+// reported in the rows, not as an error; the caller decides whether it
+// is fatal.
+func DifferentialTable(names []string, cfg RunConfig, w io.Writer) ([]DifferentialRow, error) {
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 64
+	}
+	var rows []DifferentialRow
+	for _, name := range names {
+		pr, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		if cfg.Calls > 0 {
+			pr.TotalCalls = cfg.Calls
+		}
+		spec := difftest.Spec{Profile: pr, SampleEvery: sampleEvery, ForceEpochEvery: 32}
+		res, err := difftest.Run(spec, difftest.Options{Sink: cfg.Sink})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: differential %s: %w", name, err)
+		}
+		divs := len(res.Divergences) + res.Dropped
+		rows = append(rows, DifferentialRow{
+			Name:        name,
+			Events:      res.Events,
+			Queries:     res.Samples,
+			Epochs:      res.Epochs,
+			Divergences: divs,
+		})
+	}
+	if w != nil {
+		t := stats.NewTable("benchmark", "events", "queries", "epochs", "divergences")
+		for _, r := range rows {
+			t.Row(r.Name,
+				fmt.Sprintf("%d", r.Events),
+				fmt.Sprintf("%d", r.Queries),
+				fmt.Sprintf("%d", r.Epochs),
+				fmt.Sprintf("%d", r.Divergences),
+			)
+		}
+		if err := t.Write(w); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

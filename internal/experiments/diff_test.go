@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDifferentialTableClean runs two calibrated benchmarks through the
+// differential oracle at a short call budget and expects full
+// cross-encoder agreement plus a rendered summary row per benchmark.
+func TestDifferentialTableClean(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := DifferentialTable([]string{"429.mcf", "401.bzip2"}, RunConfig{Calls: 6_000, SampleEvery: 13}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Divergences != 0 {
+			t.Errorf("%s: %d divergences", r.Name, r.Divergences)
+		}
+		if r.Queries == 0 {
+			t.Errorf("%s: no query points", r.Name)
+		}
+		if r.Events == 0 {
+			t.Errorf("%s: empty trace", r.Name)
+		}
+		if !strings.Contains(buf.String(), r.Name) {
+			t.Errorf("rendered table missing row for %s", r.Name)
+		}
+	}
+}
+
+// TestDifferentialTableUnknown rejects unknown benchmark names.
+func TestDifferentialTableUnknown(t *testing.T) {
+	if _, err := DifferentialTable([]string{"no-such-bench"}, RunConfig{Calls: 1000}, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -88,6 +88,19 @@ func (s *Scheme) Collisions() (collisions, distinct int64) {
 	return s.collisions, s.distinct
 }
 
+// Expected folds the hash update over a known call path: the value a
+// capture must hold when exactly the calls through the given sites are
+// open (spawn-inherited sites first). PCC has no decoder, so this
+// forward fold is the only exact oracle a differential checker can
+// hold a capture against.
+func Expected(sites []prog.SiteID) Value {
+	var v Value
+	for _, s := range sites {
+		v = 3*v + Value(s) + 1
+	}
+	return v
+}
+
 // stub updates the hash around every call; the cookie restores the
 // previous value on return, so the value identifies the current
 // context, not the call history. Tail calls get no restore — PCC is

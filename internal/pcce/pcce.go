@@ -223,6 +223,16 @@ func (s *Scheme) DecodeSample(sm machine.Sample) (core.Context, error) {
 	return s.dec.Decode(c)
 }
 
+// DecodeCapture decodes an untyped scheme capture — the uniform decode
+// shape shared with the other context trackers.
+func (s *Scheme) DecodeCapture(capture any) (core.Context, error) {
+	c, ok := capture.(*core.Capture)
+	if !ok {
+		return nil, fmt.Errorf("pcce: capture is %T, not a capture", capture)
+	}
+	return s.dec.Decode(c)
+}
+
 // action mirrors core's per-edge decision, computed statically.
 type action struct {
 	target prog.FuncID

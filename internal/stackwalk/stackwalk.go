@@ -65,3 +65,9 @@ func (*Scheme) Decode(capture any) (core.Context, error) {
 	}
 	return ctx, nil
 }
+
+// DecodeCapture is Decode under the uniform decode shape shared with
+// the other context trackers.
+func (s *Scheme) DecodeCapture(capture any) (core.Context, error) {
+	return s.Decode(capture)
+}

@@ -19,9 +19,9 @@ type flightRec struct {
 
 // FlightRecorder is a Sink keeping the last N events in a ring buffer —
 // a crash-dump view of what the encoder was doing. When it sees an
-// EvIDOverflow or a failed EvDecodeRequest it automatically dumps the
-// ring to its output writer, giving the events leading up to the
-// failure without recording the whole run.
+// EvIDOverflow, an EvDivergence, or a failed EvDecodeRequest it
+// automatically dumps the ring to its output writer, giving the events
+// leading up to the failure without recording the whole run.
 type FlightRecorder struct {
 	mu    sync.Mutex
 	start time.Time
@@ -50,7 +50,8 @@ func (f *FlightRecorder) Emit(ev Event) {
 	if f.n < len(f.ring) {
 		f.n++
 	}
-	trigger := ev.Kind == EvIDOverflow || (ev.Kind == EvDecodeRequest && ev.Err)
+	trigger := ev.Kind == EvIDOverflow || ev.Kind == EvDivergence ||
+		(ev.Kind == EvDecodeRequest && ev.Err)
 	out := f.out
 	f.mu.Unlock()
 	if trigger && out != nil {

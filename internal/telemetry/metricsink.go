@@ -24,20 +24,21 @@ const topSites = 8
 type Metrics struct {
 	reg *Registry
 
-	edges     *Counter
-	reencode  [NumReasons]*Counter
-	push, pop *Counter
-	depth     *Histogram
-	cost      *Histogram
-	promoted  *Counter
-	overflow  *Counter
-	fixups    *Counter
-	traps     *Counter
-	decodeOK  *Counter
-	decodeErr *Counter
-	started   *Counter
-	exited    *Counter
-	samples   *Counter
+	edges      *Counter
+	reencode   [NumReasons]*Counter
+	push, pop  *Counter
+	depth      *Histogram
+	cost       *Histogram
+	promoted   *Counter
+	overflow   *Counter
+	fixups     *Counter
+	traps      *Counter
+	decodeOK   *Counter
+	decodeErr  *Counter
+	started    *Counter
+	exited     *Counter
+	samples    *Counter
+	divergence *Counter
 
 	epoch  *Gauge
 	maxID  *Gauge
@@ -51,25 +52,26 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	reg := NewRegistry()
 	m := &Metrics{
-		reg:       reg,
-		edges:     reg.Counter("dacce_edges_discovered_total"),
-		push:      reg.Counter("dacce_ccstack_push_total"),
-		pop:       reg.Counter("dacce_ccstack_pop_total"),
-		depth:     reg.Histogram("dacce_ccstack_depth", ExpBuckets(1, 2, 11)),
-		cost:      reg.Histogram("dacce_reencode_cost_cycles", ExpBuckets(1<<10, 4, 11)),
-		promoted:  reg.Counter("dacce_indirect_promoted_total"),
-		overflow:  reg.Counter("dacce_id_overflow_total"),
-		fixups:    reg.Counter("dacce_tail_fixup_total"),
-		traps:     reg.Counter("dacce_handler_traps_total"),
-		decodeOK:  reg.Counter("dacce_decode_requests_total", "outcome", "ok"),
-		decodeErr: reg.Counter("dacce_decode_requests_total", "outcome", "error"),
-		started:   reg.Counter("dacce_threads_started_total"),
-		exited:    reg.Counter("dacce_threads_exited_total"),
-		samples:   reg.Counter("dacce_samples_total"),
-		epoch:     reg.Gauge("dacce_epoch"),
-		maxID:     reg.Gauge("dacce_max_id"),
-		budget:    reg.Gauge("dacce_id_budget"),
-		siteHits:  make(map[prog.SiteID]int64),
+		reg:        reg,
+		edges:      reg.Counter("dacce_edges_discovered_total"),
+		push:       reg.Counter("dacce_ccstack_push_total"),
+		pop:        reg.Counter("dacce_ccstack_pop_total"),
+		depth:      reg.Histogram("dacce_ccstack_depth", ExpBuckets(1, 2, 11)),
+		cost:       reg.Histogram("dacce_reencode_cost_cycles", ExpBuckets(1<<10, 4, 11)),
+		promoted:   reg.Counter("dacce_indirect_promoted_total"),
+		overflow:   reg.Counter("dacce_id_overflow_total"),
+		fixups:     reg.Counter("dacce_tail_fixup_total"),
+		traps:      reg.Counter("dacce_handler_traps_total"),
+		decodeOK:   reg.Counter("dacce_decode_requests_total", "outcome", "ok"),
+		decodeErr:  reg.Counter("dacce_decode_requests_total", "outcome", "error"),
+		started:    reg.Counter("dacce_threads_started_total"),
+		exited:     reg.Counter("dacce_threads_exited_total"),
+		samples:    reg.Counter("dacce_samples_total"),
+		divergence: reg.Counter("dacce_divergences_total"),
+		epoch:      reg.Gauge("dacce_epoch"),
+		maxID:      reg.Gauge("dacce_max_id"),
+		budget:     reg.Gauge("dacce_id_budget"),
+		siteHits:   make(map[prog.SiteID]int64),
 	}
 	for r := Reason(0); r < NumReasons; r++ {
 		if r == ReasonNone {
@@ -83,6 +85,7 @@ func NewMetrics() *Metrics {
 	reg.Help("dacce_reencode_cost_cycles", "Model cost of each re-encoding pass.")
 	reg.Help("dacce_max_id", "Maximum context id of the current epoch.")
 	reg.Help("dacce_id_budget", "Configured context-id budget.")
+	reg.Help("dacce_divergences_total", "Cross-encoder divergences found by the differential checker.")
 	return m
 }
 
@@ -136,6 +139,8 @@ func (m *Metrics) Emit(ev Event) {
 		m.exited.Inc()
 	case EvSample:
 		m.samples.Inc()
+	case EvDivergence:
+		m.divergence.Inc()
 	}
 }
 

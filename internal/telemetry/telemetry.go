@@ -76,6 +76,12 @@ const (
 	// EvSample: a periodic sample captured a context. Value is the
 	// per-thread sample sequence number.
 	EvSample
+	// EvDivergence: a differential checker found two context trackers
+	// disagreeing about the same instant. Fn is the sampled leaf
+	// function, Value the per-thread sample sequence number, Err is
+	// always set (a divergence is a failure), and Aux distinguishes the
+	// checker-specific divergence class.
+	EvDivergence
 
 	// NumKinds is the number of event kinds (for per-kind tables).
 	NumKinds
@@ -96,6 +102,7 @@ var kindNames = [NumKinds]string{
 	EvThreadStart:      "thread_start",
 	EvThreadExit:       "thread_exit",
 	EvSample:           "sample",
+	EvDivergence:       "divergence",
 }
 
 // String returns the kind's snake_case name.
