@@ -4,15 +4,23 @@
 //	daccebench fig8   [-calls N] [-bench ...]         Figure 8 overhead
 //	daccebench fig9   [-calls N] [-bench ...]         Figure 9 progress series
 //	daccebench fig10  [-calls N] [-bench ...]         Figure 10 depth CDFs
+//	daccebench steady [-threads 1,2,4,8] [-compare]   steady-state scalability suite
 //	daccebench all    [-calls N]                      everything
 //
-// Results print to stdout; progress goes to stderr.
+// Every subcommand accepts -cpuprofile/-memprofile (pprof output) and
+// -bench-json (machine-readable results; the steady suite's JSON is
+// the committed BENCH_steady_state.json format). Results print to
+// stdout; progress goes to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"dacce/internal/experiments"
@@ -21,9 +29,15 @@ import (
 )
 
 func main() {
+	// Dispatch through run so deferred profile writers flush before the
+	// process exits — os.Exit skips defers.
+	os.Exit(run())
+}
+
+func run() int {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -34,14 +48,49 @@ func main() {
 	metrics := fs.Bool("metrics", false, "print a telemetry metrics snapshot to stderr after the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing)")
 	flightN := fs.Int("flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on overflow or decode failure")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON := fs.String("bench-json", "", "write machine-readable results (JSON) to this file")
+	threadsFlag := fs.String("threads", "", "steady: comma-separated thread counts (default 1,2,4,8)")
+	compare := fs.Bool("compare", false, "steady: also run the mutex-serialized comparison build and report speedups")
 	_ = fs.Parse(os.Args[2:])
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "daccebench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "daccebench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "daccebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "daccebench:", err)
+			}
+		}()
+	}
 
 	if cmd == "dump-profiles" {
 		if err := workload.WriteProfiles(os.Stdout, workload.Profiles()); err != nil {
 			fmt.Fprintln(os.Stderr, "daccebench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	// Telemetry sinks aggregate across every benchmark run the
@@ -90,6 +139,8 @@ func main() {
 			out = args[0]
 		}
 		err = runReport(out, cfg)
+	case "steady":
+		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -98,7 +149,7 @@ func main() {
 		}
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if err == nil && ctr != nil {
 		err = writeTrace(*traceOut, ctr)
@@ -108,8 +159,68 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "daccebench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// runSteady drives the multi-threaded steady-state scalability suite
+// and renders a summary table; -bench-json additionally writes the full
+// report in the BENCH_steady_state.json format.
+func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare bool, jsonOut string) error {
+	cfg := experiments.SteadyConfig{
+		CallsPerThread: callsPerThread,
+		SampleEvery:    sampleEvery,
+		Compare:        compare,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// steady suite wants its own aggressive default so the sampling
+	// controller is part of the measured load.
+	if sampleEvery == 256 {
+		cfg.SampleEvery = 0
+	}
+	if threadsCSV != "" {
+		for _, part := range strings.Split(threadsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -threads value %q", part)
+			}
+			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+	rep, err := experiments.SteadyState(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Steady-state scalability (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
+	fmt.Printf("%-8s %-11s %-7s %14s %14s %8s %7s\n",
+		"threads", "mode", "phase", "calls/s", "allocs/call", "traps", "epochs")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8d %-11s %-7s %14.0f %14.4f %8d %7d\n",
+			r.Threads, r.Mode, r.Phase, r.CallsPerSec, r.AllocsPerCall, r.HandlerTraps, r.Epochs)
+	}
+	for _, n := range rep.Config.Threads {
+		k := fmt.Sprint(n)
+		if s, ok := rep.Scaling[k]; ok {
+			line := fmt.Sprintf("threads=%s scaling=%.2fx", k, s)
+			if sp, ok := rep.Speedup[k]; ok {
+				line += fmt.Sprintf(" speedup-vs-serialized=%.2fx", sp)
+			}
+			fmt.Println(line)
+		}
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "steady report written to", jsonOut)
+	}
+	return nil
 }
 
 func writeTrace(path string, ctr *telemetry.ChromeTrace) error {
@@ -129,7 +240,7 @@ func writeTrace(path string, ctr *telemetry.ChromeTrace) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-profiles file.json] [-metrics] [-trace-out file.json] [-flight-recorder N]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-profiles file.json] [-metrics] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

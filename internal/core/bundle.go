@@ -67,6 +67,10 @@ type BundleCode struct {
 // ExportBundle snapshots the encoder's decode state. Call it after (or
 // during) a run; the result is independent of the DACCE instance.
 func (d *DACCE) ExportBundle() *Bundle {
+	// The dictionaries come from the published snapshot (immutable); the
+	// mutex still covers the graph-edge iteration, which may race with
+	// the handler's AddEdge otherwise.
+	snap := d.cur()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	b := &Bundle{Entry: d.p.Entry}
@@ -79,7 +83,7 @@ func (d *DACCE) ExportBundle() *Bundle {
 	for _, e := range d.g.Edges {
 		b.Edges = append(b.Edges, BundleEdge{Site: e.Site, Target: e.Target})
 	}
-	for _, asn := range d.dicts {
+	for _, asn := range snap.dicts {
 		ep := BundleEpoch{MaxID: asn.MaxID, NumCC: make(map[string]uint64, len(asn.NumCC))}
 		for fn, n := range asn.NumCC {
 			ep.NumCC[fmt.Sprint(fn)] = n

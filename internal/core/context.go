@@ -41,10 +41,13 @@ func (e CCEntry) String() string {
 }
 
 // tls is the per-thread encoder state the paper keeps in thread-local
-// storage (§5.3): the context identifier and the ccStack.
+// storage (§5.3): the context identifier and the ccStack, plus the
+// thread's reusable decode scratch for the sampling controller's
+// lock-free heat-estimation decode.
 type tls struct {
-	id uint64
-	cc []CCEntry
+	id      uint64
+	cc      []CCEntry
+	scratch decodeScratch
 }
 
 // Capture is an immutable snapshot of a thread's context encoding,

@@ -107,10 +107,22 @@ const DefaultCompressMinPushes = 128
 // DACCE is the dynamic and adaptive calling-context encoder. Create it
 // with New, pass it to machine.New as the Scheme, and decode captures
 // with Decode after (or during) the run.
+//
+// Concurrency: the steady state is lock-free. Patched stubs mutate only
+// thread-local state and atomic counters; the read-mostly encoding
+// state lives in an immutable snapshot (see encSnap) published through
+// snap, so the sampling controller, periodic maintenance, decode
+// requests and the public accessors never contend on mu. The mutex
+// guards actual mutation only: graph edge insertion and stub patching
+// in the runtime handler, and the stop-the-world rebuild of a
+// re-encoding pass.
 type DACCE struct {
 	opt Options
 
-	m *machine.Machine
+	// m is the installed machine, published atomically so an external
+	// ForceReencode can race Install safely (it simply sees no machine
+	// and skips the stop-the-world).
+	m atomic.Pointer[machine.Machine]
 	p *prog.Program
 
 	// epi is the shared epilogue stub; all frame epilogues dispatch on
@@ -119,29 +131,33 @@ type DACCE struct {
 	// trap is the shared initial stub (runtime-handler trap).
 	trap *trapStub
 
-	// mu guards the graph, dictionaries, stub rebuilding and the
-	// discovery state below. Stubs on the fast path never take it.
-	mu    sync.Mutex
-	g     *graph.Graph
-	dicts []*blenc.Assignment // decode dictionary per epoch (Fig. 6)
-	epoch atomic.Uint32
-	maxID uint64 // current epoch's maxID (baked into stubs)
+	// snap is the published read-mostly encoding state. Loads are
+	// lock-free; stores happen under mu.
+	snap atomic.Pointer[encSnap]
 
-	tailContaining map[prog.FuncID]bool
-	compress       map[graph.EdgeKey]bool // back edges with compression on
-	pendingNew     []*graph.Edge          // edges discovered since the last pass
-	hashed         map[prog.SiteID]bool   // sites promoted to hash dispatch
+	// mu guards the graph, stub rebuilding, snapshot publication and
+	// the discovery state below. Stubs on the fast path never take it;
+	// the runtime handler takes it exactly once per trap in the steady
+	// state.
+	mu         sync.Mutex
+	g          *graph.Graph
+	pendingNew []*graph.Edge        // edges discovered since the last pass
+	hashed     map[prog.SiteID]bool // sites promoted to hash dispatch
 
 	// sink receives telemetry events; nil disables emission (the fast
 	// path — each emission site is one predictable branch).
 	sink telemetry.Sink
 
-	// Adaptive-trigger counters, reset at each re-encoding. backoff
-	// scales the traffic-driven thresholds up after every pass, so
-	// re-encoding is frequent during warm-up and rare at steady state
-	// (the behaviour Fig. 9 shows).
-	backoff     uint
-	newEdges    int
+	// Adaptive-trigger counters, reset at each re-encoding. All are
+	// atomic so the trigger pre-check (Maintain, OnSample, the trap's
+	// fast path) is a handful of loads with no lock. backoff scales the
+	// traffic-driven thresholds up after every pass, so re-encoding is
+	// frequent during warm-up and rare at steady state (the behaviour
+	// Fig. 9 shows). edgeCount shadows g.NumEdges() for the lock-free
+	// adaptive new-edge threshold.
+	backoff     atomic.Uint32
+	newEdges    atomic.Int64
+	edgeCount   atomic.Int64
 	unencCalls  atomic.Int64
 	ccOps       atomic.Int64
 	hotMiss     atomic.Int64
@@ -149,6 +165,12 @@ type DACCE struct {
 
 	stats Stats
 }
+
+// capturePool recycles Capture snapshots (and their ccStack copy
+// backing arrays) between samples. The machine returns unretained
+// captures through ReleaseCapture after the sampling observer is done
+// with them, so steady-state sampling allocates nothing.
+var capturePool = sync.Pool{New: func() any { return new(Capture) }}
 
 // New returns a DACCE scheme for program p.
 func New(p *prog.Program, opt Options) *DACCE {
@@ -166,13 +188,11 @@ func New(p *prog.Program, opt Options) *DACCE {
 	}
 	opt.Trig.fill()
 	d := &DACCE{
-		opt:            opt,
-		p:              p,
-		g:              graph.New(p),
-		tailContaining: make(map[prog.FuncID]bool),
-		compress:       make(map[graph.EdgeKey]bool),
-		hashed:         make(map[prog.SiteID]bool),
-		sink:           opt.Sink,
+		opt:    opt,
+		p:      p,
+		g:      graph.New(p),
+		hashed: make(map[prog.SiteID]bool),
+		sink:   opt.Sink,
 	}
 	d.epi = &epiStub{d: d}
 	d.trap = &trapStub{d: d}
@@ -180,8 +200,14 @@ func New(p *prog.Program, opt Options) *DACCE {
 	// first decode dictionary exist before the first call (paper §3:
 	// "starts with a call graph containing only function main").
 	asn := blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
-	d.dicts = append(d.dicts, asn)
-	d.maxID = asn.MaxID
+	d.snap.Store(&encSnap{
+		epoch:    0,
+		maxID:    asn.MaxID,
+		dicts:    []*blenc.Assignment{asn},
+		idx:      []*decodeIndex{newDecodeIndex(d.g, asn)},
+		tail:     map[prog.FuncID]bool{},
+		compress: map[graph.EdgeKey]bool{},
+	})
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvEncoderInit, Thread: -1,
@@ -198,34 +224,37 @@ func (d *DACCE) Name() string { return "dacce" }
 // Graph returns the dynamic call graph (stable after the run ends).
 func (d *DACCE) Graph() *graph.Graph { return d.g }
 
-// Epoch returns the current gTimeStamp.
-func (d *DACCE) Epoch() uint32 { return d.epoch.Load() }
+// Epoch returns the current gTimeStamp. Lock-free.
+func (d *DACCE) Epoch() uint32 { return d.cur().epoch }
 
-// MaxID returns the current epoch's maximum context id.
-func (d *DACCE) MaxID() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.maxID
-}
+// MaxID returns the current epoch's maximum context id. Lock-free.
+func (d *DACCE) MaxID() uint64 { return d.cur().maxID }
 
-// Dict returns the decode dictionary for an epoch, or nil.
+// Dict returns the decode dictionary for an epoch, or nil. Lock-free.
 func (d *DACCE) Dict(epoch uint32) *blenc.Assignment {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if int(epoch) >= len(d.dicts) {
+	snap := d.cur()
+	if int(epoch) >= len(snap.dicts) {
 		return nil
 	}
-	return d.dicts[epoch]
+	return snap.dicts[epoch]
 }
 
 // Install implements machine.Scheme: every call site starts as a
 // runtime-handler trap (paper §3: "all function calls ... are replaced
-// with instrumentations to invoke a runtime handler").
+// with instrumentations to invoke a runtime handler"). Re-installing a
+// warmed encoder on a fresh machine (the steady-state benchmark regime)
+// re-patches every already-discovered site from the current graph and
+// assignment instead of re-trapping it.
 func (d *DACCE) Install(m *machine.Machine) {
-	d.m = m
+	d.m.Store(m)
 	for i := 0; i < d.p.NumSites(); i++ {
 		m.SetStub(prog.SiteID(i), d.trap)
 	}
+	d.mu.Lock()
+	if d.g.NumEdges() > 0 {
+		d.rebuildAllLocked()
+	}
+	d.mu.Unlock()
 }
 
 // ThreadStart implements machine.Scheme: allocate the TLS (paper §5.3)
@@ -245,16 +274,19 @@ func (d *DACCE) ThreadStart(t, parent *machine.Thread) {
 func (d *DACCE) ThreadExit(t *machine.Thread) {}
 
 // Capture implements machine.Scheme: snapshot (gTimeStamp, id, function,
-// ccStack).
+// ccStack). The snapshot object comes from a pool; callers that are
+// done with a capture the machine did not retain hand it back through
+// ReleaseCapture, making steady-state sampling allocation-free once the
+// pool and the ccStack copy's backing array are warm.
 func (d *DACCE) Capture(t *machine.Thread) any {
 	st := t.State.(*tls)
-	c := &Capture{
-		Epoch: d.epoch.Load(),
-		ID:    st.id,
-		Fn:    t.SelfID(),
-		Root:  t.Entry(),
-		CC:    append([]CCEntry(nil), st.cc...),
-	}
+	c := capturePool.Get().(*Capture)
+	c.Epoch = d.cur().epoch
+	c.ID = st.id
+	c.Fn = t.SelfID()
+	c.Root = t.Entry()
+	c.CC = append(c.CC[:0], st.cc...)
+	c.Spawn = nil
 	if sc, ok := t.SpawnCapture.(*Capture); ok {
 		c.Spawn = sc
 	}
@@ -269,73 +301,93 @@ func (d *DACCE) CaptureTyped(t *machine.Thread) *Capture {
 	return d.Capture(t).(*Capture)
 }
 
+// ReleaseCapture implements machine.CaptureReleaser: return a capture
+// that is no longer referenced to the pool. The spawn-path capture a
+// released snapshot points at is owned by its thread and stays alive;
+// only the outer object and its ccStack copy are recycled. Releasing a
+// capture that is still retained anywhere (machine samples, user code)
+// is a use-after-free bug on the caller's side — the machine only
+// releases captures it chose not to retain.
+func (d *DACCE) ReleaseCapture(capture any) {
+	c, ok := capture.(*Capture)
+	if !ok || c == nil {
+		return
+	}
+	c.Spawn = nil
+	capturePool.Put(c)
+}
+
 // OnSample implements machine.SampleObserver: the adaptive controller's
 // input (paper §4 — collected contexts are decoded to find hot edges
-// and to detect that hot paths are unencoded).
+// and to detect that hot paths are unencoded). The whole path is
+// lock-free: the decode walks the capture epoch's immutable index on
+// the thread's reusable scratch buffers, edge heat is credited with
+// atomic adds, and the trigger check reads atomic counters. Only the
+// optional TrackProgress bookkeeping (an experiment mode, off by
+// default) takes the mutex, to read consistent graph counts.
 func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 	c, ok := capture.(*Capture)
 	if !ok || c == nil {
 		return
 	}
 	n := d.samplesSeen.Add(1)
+	snap := d.cur()
 
-	d.mu.Lock()
-	over := c.ID > d.maxID
 	// Estimate edge heat from the decoded sample so that even
-	// instrumentation-free (code 0) edges get frequency credit.
-	dec := Decoder{P: d.p, G: d.g, Dicts: d.dicts}
-	if ctx, err := dec.decodeLocked(c, false); err == nil {
-		for i := 1; i < len(ctx); i++ {
-			if e := d.g.Edge(ctx[i].Site, ctx[i].Fn); e != nil {
-				atomic.AddInt64(&e.Freq, 1)
+	// instrumentation-free (code 0) edges get frequency credit. The
+	// capture's epoch always has an index: the capture was taken before
+	// this observer ran, and snapshots only grow.
+	if st, ok := t.State.(*tls); ok && int(c.Epoch) < len(snap.idx) {
+		dec := Decoder{P: d.p, Dicts: snap.dicts, idx: snap.idx}
+		if ctx, err := dec.decodeOne(c, &st.scratch); err == nil {
+			ix := snap.idx[c.Epoch]
+			for i := 1; i < len(ctx); i++ {
+				if e := ix.edges[graph.EdgeKey{Site: ctx[i].Site, Target: ctx[i].Fn}]; e != nil {
+					atomic.AddInt64(&e.Freq, 1)
+				}
 			}
+			t.C.InstrCost += machine.CostSampleDecode
 		}
-		t.C.InstrCost += machine.CostSampleDecode
 	}
 	if d.opt.TrackProgress && n%d.opt.ProgressEvery == 0 {
+		d.mu.Lock()
 		d.stats.Progress = append(d.stats.Progress, ProgressPoint{
 			Sample: n,
 			Nodes:  d.g.NumNodes(),
 			Edges:  d.g.NumEdges(),
-			MaxID:  d.maxID,
-			Epoch:  d.epoch.Load(),
+			MaxID:  snap.maxID,
+			Epoch:  snap.epoch,
 		})
+		d.mu.Unlock()
 	}
-	d.mu.Unlock()
 
-	if over && d.hotMiss.Add(1) >= d.opt.Trig.HotMissSamples {
+	if c.ID > snap.maxID && d.hotMiss.Add(1) >= d.opt.Trig.HotMissSamples {
 		d.reencode(t)
 		return
 	}
-	if d.shouldReencode() {
+	if d.triggersFired() {
 		d.reencode(t)
 	}
 }
 
 // Maintain implements machine.Maintainer: the runtime checks the
 // adaptive triggers periodically even when no handler traps and no
-// sampling happen.
+// sampling happen. The pre-check is a few atomic loads; the mutex is
+// touched only when a trigger has actually fired and a pass will run.
 func (d *DACCE) Maintain(t *machine.Thread) {
-	if d.shouldReencode() {
+	if d.triggersFired() {
 		d.reencode(t)
 	}
 }
 
-// shouldReencode checks the cheap trigger counters. The new-edge
-// threshold backs off as the graph grows — re-encoding a big graph is
-// expensive, so it must amortize over proportionally more discoveries
-// (the "principle of dynamic optimization" of paper §3).
-func (d *DACCE) shouldReencode() bool {
-	d.mu.Lock()
-	fired := d.triggersFiredLocked()
-	d.mu.Unlock()
-	return fired
-}
-
-// newEdgeThresholdLocked scales the new-edges trigger with graph size.
-func (d *DACCE) newEdgeThresholdLocked() int {
-	th := d.opt.Trig.NewEdges
-	if adaptive := d.g.NumEdges() / 24; adaptive > th {
+// newEdgeThreshold scales the new-edges trigger with graph size:
+// re-encoding a big graph is expensive, so it must amortize over
+// proportionally more discoveries (the "principle of dynamic
+// optimization" of paper §3). Lock-free: edgeCount shadows the graph's
+// edge count.
+func (d *DACCE) newEdgeThreshold() int64 {
+	th := int64(d.opt.Trig.NewEdges)
+	if adaptive := d.edgeCount.Load() / 24; adaptive > th {
 		th = adaptive
 	}
 	return th
@@ -346,20 +398,15 @@ func (d *DACCE) newEdgeThresholdLocked() int {
 func (d *DACCE) Stats() *Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	snap := d.cur()
 	s := d.stats
 	s.Nodes = d.g.NumNodes()
 	s.Edges = d.g.NumEdges()
-	s.MaxID = d.maxID
-	if len(d.dicts) > 0 {
-		s.Overflowed = d.dicts[len(d.dicts)-1].Overflowed
-	}
+	s.MaxID = snap.maxID
+	s.Overflowed = snap.dicts[len(snap.dicts)-1].Overflowed
 	return &s
 }
 
 // CompressCount returns how many back edges currently have recursion
-// compression enabled.
-func (d *DACCE) CompressCount() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.compress)
-}
+// compression enabled. Lock-free.
+func (d *DACCE) CompressCount() int { return len(d.cur().compress) }

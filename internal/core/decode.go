@@ -16,12 +16,13 @@ const maxDecodeSteps = 1 << 22
 // Decode decodes a capture into the full calling context, root first
 // (Algorithm 1 plus the expansion of compressed recursion counts). For
 // captures taken on spawned threads the spawning path is prepended
-// (paper §5.3). Safe to call during or after the run.
+// (paper §5.3). Safe to call during or after the run; lock-free — the
+// decode walks the capture epoch's immutable snapshot index, never the
+// live graph.
 func (d *DACCE) Decode(c *Capture) (Context, error) {
-	d.mu.Lock()
-	dec := &Decoder{P: d.p, G: d.g, Dicts: d.dicts}
-	ctx, err := dec.decodeLocked(c, true)
-	d.mu.Unlock()
+	snap := d.cur()
+	dec := &Decoder{P: d.p, G: d.g, Dicts: snap.dicts, idx: snap.idx}
+	ctx, err := dec.decode(c, true)
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvDecodeRequest, Thread: -1,
@@ -39,12 +40,30 @@ type Decoder struct {
 	P     *prog.Program
 	G     *graph.Graph
 	Dicts []*blenc.Assignment
+
+	// idx optionally holds one immutable per-epoch decode index,
+	// parallel to Dicts. When an epoch has one, decoding walks it
+	// instead of G, so the decoder is safe against concurrent graph
+	// growth; when absent (external constructions like the PCCE
+	// baseline) the decoder falls back to walking G's in-edge lists,
+	// which the caller must keep quiescent.
+	idx []*decodeIndex
+}
+
+// decodeScratch holds a thread's reusable decode buffers so the
+// sampling controller's per-sample heat-estimation decode allocates
+// nothing at steady state. Owned by one thread (it lives in tls),
+// reused across samples.
+type decodeScratch struct {
+	cc  []CCEntry
+	rev []ContextFrame
 }
 
 // Decode decodes a capture, including the spawn-path prefix. The caller
-// must ensure the graph is not mutated concurrently.
+// must ensure the graph is not mutated concurrently (not a concern when
+// the decoder carries per-epoch indexes).
 func (dec *Decoder) Decode(c *Capture) (Context, error) {
-	return dec.decodeLocked(c, true)
+	return dec.decode(c, true)
 }
 
 // DecodeSample decodes the capture of a machine sample.
@@ -67,16 +86,16 @@ func (d *DACCE) DecodeCapture(capture any) (Context, error) {
 	return d.Decode(c)
 }
 
-func (dec *Decoder) decodeLocked(c *Capture, withSpawn bool) (Context, error) {
+func (dec *Decoder) decode(c *Capture, withSpawn bool) (Context, error) {
 	var prefix Context
 	if withSpawn && c.Spawn != nil {
-		p, err := dec.decodeLocked(c.Spawn, true)
+		p, err := dec.decode(c.Spawn, true)
 		if err != nil {
 			return nil, fmt.Errorf("decoding spawn path: %w", err)
 		}
 		prefix = p
 	}
-	body, err := dec.decodeOne(c)
+	body, err := dec.decodeOne(c, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +111,18 @@ type step struct {
 
 // findEdge returns the unique encoded in-edge of fn whose code range
 // contains id at the dictionary's epoch (Algorithm 1 lines 26–33:
-// En(e) ≤ id < En(e)+numCC(p)), or ok=false.
-func (dec *Decoder) findEdge(dict *blenc.Assignment, fn prog.FuncID, id uint64) (step, bool) {
+// En(e) ≤ id < En(e)+numCC(p)), or ok=false. With a per-epoch index the
+// lookup walks only fn's frozen encoded in-edges; the graph fallback
+// walks the live in-edge list and filters by the dictionary.
+func (dec *Decoder) findEdge(dict *blenc.Assignment, ix *decodeIndex, fn prog.FuncID, id uint64) (step, bool) {
+	if ix != nil {
+		for _, e := range ix.in[fn] {
+			if e.code <= id && id < e.code+e.ncc {
+				return step{site: e.site, caller: e.caller, code: e.code}, true
+			}
+		}
+		return step{}, false
+	}
 	n := dec.G.Node(fn)
 	if n == nil {
 		return step{}, false
@@ -111,10 +140,22 @@ func (dec *Decoder) findEdge(dict *blenc.Assignment, fn prog.FuncID, id uint64) 
 	return step{}, false
 }
 
+// epochIndex returns the decode index for an epoch, or nil when the
+// decoder has none (external Decoder constructions).
+func (dec *Decoder) epochIndex(epoch uint32) *decodeIndex {
+	if int(epoch) < len(dec.idx) {
+		return dec.idx[epoch]
+	}
+	return nil
+}
+
 // decodeOne decodes the thread-local part of a capture (no spawn
 // prefix). The result is built deepest-frame-first and reversed at the
-// end.
-func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
+// end. A non-nil scratch supplies (and, grown, receives back) the two
+// working buffers, making repeated decodes on one thread
+// allocation-free; the returned Context then aliases scratch.rev and is
+// only valid until the next decode with the same scratch.
+func (dec *Decoder) decodeOne(c *Capture, scratch *decodeScratch) (Context, error) {
 	if int(c.Epoch) >= len(dec.Dicts) {
 		return nil, fmt.Errorf("core: capture epoch %d has no dictionary", c.Epoch)
 	}
@@ -122,11 +163,19 @@ func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
 		return nil, err
 	}
 	dict := dec.Dicts[c.Epoch]
+	ix := dec.epochIndex(c.Epoch)
 	maxID := dict.MaxID
 
 	ifun := c.Fn
 	id := c.ID
-	cc := append([]CCEntry(nil), c.CC...)
+	var cc []CCEntry
+	var rev []ContextFrame
+	if scratch != nil {
+		cc = append(scratch.cc[:0], c.CC...)
+		rev = scratch.rev[:0]
+	} else {
+		cc = append([]CCEntry(nil), c.CC...)
+	}
 	onstack := false
 	adjust := func() {
 		if id > maxID {
@@ -138,7 +187,7 @@ func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
 
 	// rev[i].Site is the call site through which rev[i].Fn was entered;
 	// filled in when the incoming edge is discovered.
-	rev := []ContextFrame{{Site: prog.NoSite, Fn: ifun}}
+	rev = append(rev, ContextFrame{Site: prog.NoSite, Fn: ifun})
 	steps := 0
 	for {
 		if steps++; steps > maxDecodeSteps {
@@ -164,11 +213,11 @@ func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
 			// one more traversal of the back edge, separated by the
 			// sub-path whose encoding is the entry's saved id.
 			for k := uint32(0); k < top.Count; k++ {
-				seg, err := dec.segment(dict, top.ID, caller, ifun, top.Site)
+				var err error
+				rev, err = dec.segment(rev, dict, ix, top.ID, caller, ifun, top.Site)
 				if err != nil {
 					return nil, fmt.Errorf("expanding repetition %d of %v: %w", k, top, err)
 				}
-				rev = append(rev, seg...)
 			}
 
 			ifun = caller
@@ -183,7 +232,7 @@ func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
 
 		// Acyclic sub-path phase (lines 26–33): follow the unique
 		// encoded in-edge whose range contains id.
-		st, ok := dec.findEdge(dict, ifun, id)
+		st, ok := dec.findEdge(dict, ix, ifun, id)
 		if !ok {
 			return nil, fmt.Errorf("core: stuck decoding at f%d id=%d onstack=%v |cc|=%d (epoch %d)", ifun, id, onstack, len(cc), c.Epoch)
 		}
@@ -196,6 +245,10 @@ func (dec *Decoder) decodeOne(c *Capture) (Context, error) {
 	// Reverse to root-first order.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if scratch != nil {
+		scratch.cc = cc[:0]
+		scratch.rev = rev
 	}
 	return rev, nil
 }
@@ -224,32 +277,31 @@ func (dec *Decoder) validate(c *Capture) error {
 
 // segment decodes one repetition body of a compressed recursive entry:
 // the acyclic sub-path from head (the back edge's target) to from (the
-// back edge's caller), whose encoding is eid. It returns the frames in
-// deepest-first order: from, intermediate nodes, then head entered via
-// recSite.
-func (dec *Decoder) segment(dict *blenc.Assignment, eid uint64, from, head prog.FuncID, recSite prog.SiteID) ([]ContextFrame, error) {
+// back edge's caller), whose encoding is eid. It appends the frames to
+// rev in deepest-first order — from, intermediate nodes, then head
+// entered via recSite — and returns the grown slice.
+func (dec *Decoder) segment(rev []ContextFrame, dict *blenc.Assignment, ix *decodeIndex, eid uint64, from, head prog.FuncID, recSite prog.SiteID) ([]ContextFrame, error) {
 	maxID := dict.MaxID
 	if eid <= maxID {
 		return nil, fmt.Errorf("core: compressed entry id %d not in marker range (maxID %d)", eid, maxID)
 	}
 	id := eid - (maxID + 1)
 	cur := from
-	var out []ContextFrame
 	steps := 0
 	for !(cur == head && id == 0) {
 		if steps++; steps > maxDecodeSteps {
 			return nil, fmt.Errorf("core: repetition segment exceeded %d steps", maxDecodeSteps)
 		}
-		st, ok := dec.findEdge(dict, cur, id)
+		st, ok := dec.findEdge(dict, ix, cur, id)
 		if !ok {
 			return nil, fmt.Errorf("core: stuck in segment at f%d id=%d", cur, id)
 		}
-		out = append(out, ContextFrame{Site: st.site, Fn: cur})
+		rev = append(rev, ContextFrame{Site: st.site, Fn: cur})
 		id -= st.code
 		cur = st.caller
 	}
-	out = append(out, ContextFrame{Site: recSite, Fn: head})
-	return out, nil
+	rev = append(rev, ContextFrame{Site: recSite, Fn: head})
+	return rev, nil
 }
 
 // ShadowContext converts a machine shadow stack (optionally preceded by

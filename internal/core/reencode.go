@@ -31,28 +31,31 @@ func (d *DACCE) ForceReencode(exec prog.Exec) {
 }
 
 func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
-	if d.m != nil {
-		d.m.StopTheWorld(self)
-		defer d.m.ResumeTheWorld(self)
+	if m := d.m.Load(); m != nil {
+		m.StopTheWorld(self)
+		defer m.ResumeTheWorld(self)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
 	// Another thread may have completed a pass while we waited to
 	// become the stopper; its counter reset makes the triggers false.
-	if !force && !d.triggersFiredLocked() {
+	// The counters are atomic, so the same check that serves as the
+	// lock-free pre-check is authoritative here under d.mu.
+	if !force && !d.triggersFired() {
 		return
 	}
 	if d.opt.MaxReencodes > 0 && d.stats.GTS >= d.opt.MaxReencodes && !force {
 		// Ablation cap reached: keep running on the current encoding.
-		d.newEdges = 0
+		d.newEdges.Store(0)
 		d.unencCalls.Store(0)
 		d.ccOps.Store(0)
 		d.hotMiss.Store(0)
 		return
 	}
 
-	reason := d.triggerReasonLocked(force)
+	snap := d.cur()
+	reason := d.triggerReason(force)
 	tid := int32(-1)
 	if self != nil {
 		tid = int32(self.ID())
@@ -60,7 +63,7 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvReencodeStart, Thread: tid, Reason: reason,
-			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Epoch: snap.epoch, Site: prog.NoSite, Fn: prog.NoFunc,
 			Value: uint64(d.g.NumEdges()),
 		})
 	}
@@ -69,17 +72,18 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	// the option is on, renumber just the affected subgraph and pay for
 	// the changed region only. Hot-path and ccStack triggers demand the
 	// frequency reordering only a full pass provides.
-	discoveryOnly := d.newEdges >= d.newEdgeThresholdLocked() &&
-		d.unencCalls.Load() < d.opt.Trig.UnencodedCalls<<d.backoff &&
-		d.ccOps.Load() < d.opt.Trig.CCOps<<d.backoff &&
-		d.hotMiss.Load() < d.opt.Trig.HotMissSamples<<d.backoff
+	scale := int64(1) << d.backoff.Load()
+	discoveryOnly := d.newEdges.Load() >= d.newEdgeThreshold() &&
+		d.unencCalls.Load() < d.opt.Trig.UnencodedCalls*scale &&
+		d.ccOps.Load() < d.opt.Trig.CCOps*scale &&
+		d.hotMiss.Load() < d.opt.Trig.HotMissSamples*scale
 
 	var asn *blenc.Assignment
 	costEdges := d.g.NumEdges()
-	if d.opt.Incremental && !force && discoveryOnly && len(d.dicts) > 1 {
+	if d.opt.Incremental && !force && discoveryOnly && len(snap.dicts) > 1 {
 		var changed []graph.EdgeKey
 		var full bool
-		asn, changed, full = blenc.Refresh(d.g, d.dicts[len(d.dicts)-1], d.pendingNew,
+		asn, changed, full = blenc.Refresh(d.g, snap.dicts[len(snap.dicts)-1], d.pendingNew,
 			blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
 		if !full {
 			costEdges = len(changed)
@@ -88,33 +92,55 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	} else {
 		asn = blenc.Encode(d.g, blenc.Options{Budget: d.opt.Budget, NoHotOrder: d.opt.NoHotFirst})
 	}
-	if d.sink != nil && asn.Overflowed && !d.dicts[len(d.dicts)-1].Overflowed {
+	if d.sink != nil && asn.Overflowed && !snap.dicts[len(snap.dicts)-1].Overflowed {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvIDOverflow, Thread: tid,
-			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Epoch: snap.epoch, Site: prog.NoSite, Fn: prog.NoFunc,
 			Value: asn.UnrestrictedMaxID, Aux: d.opt.Budget,
 		})
 	}
 	d.pendingNew = d.pendingNew[:0]
-	d.dicts = append(d.dicts, asn)
-	d.maxID = asn.MaxID
-	d.epoch.Add(1)
 
 	// Adjust the recursion handling: back edges that pushed a lot get
-	// the compression of Fig. 5e from now on.
+	// the compression of Fig. 5e from now on (copy-on-write — the
+	// published set is immutable).
+	compress := snap.compress
 	for _, e := range d.g.Edges {
-		if e.Back && atomic.LoadInt64(&e.Freq) >= d.opt.CompressMinPushes {
-			d.compress[edgeKeyOf(e)] = true
+		if e.Back && atomic.LoadInt64(&e.Freq) >= d.opt.CompressMinPushes && !compress[edgeKeyOf(e)] {
+			if len(compress) == len(snap.compress) { // first addition: copy
+				compress = make(map[graph.EdgeKey]bool, len(snap.compress)+1)
+				for k, v := range snap.compress {
+					compress[k] = v
+				}
+			}
+			compress[edgeKeyOf(e)] = true
 		}
 	}
+
+	// Publish the new epoch's snapshot before regenerating stubs: the
+	// rebuild below reads it (actionForLocked), and lock-free readers
+	// flip to the new epoch in one atomic step. The world is stopped, so
+	// no machine thread observes the window between publication and the
+	// stub/TLS rewrite; external Decode callers see either epoch fully.
+	// The full slice expressions force append to copy, keeping the old
+	// snapshot's dicts/idx immutable for readers that still hold it.
+	next := &encSnap{
+		epoch:    snap.epoch + 1,
+		maxID:    asn.MaxID,
+		dicts:    append(snap.dicts[:len(snap.dicts):len(snap.dicts)], asn),
+		idx:      append(snap.idx[:len(snap.idx):len(snap.idx)], newDecodeIndex(d.g, asn)),
+		tail:     snap.tail,
+		compress: compress,
+	}
+	d.snap.Store(next)
 
 	// Regenerate instrumentation and rewrite the state of every live
 	// thread — current id, ccStack entries and the cookies of active
 	// frames ("the return address of all active functions on the stack
 	// should be modified", §4).
-	if d.m != nil {
+	if m := d.m.Load(); m != nil {
 		d.rebuildAllLocked()
-		for _, t := range d.m.Threads() {
+		for _, t := range m.Threads() {
 			d.translateThreadLocked(t)
 		}
 	}
@@ -126,7 +152,7 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	d.stats.GTS++
 	d.stats.ReencodeCost += cost
 	d.stats.History = append(d.stats.History, EpochRecord{
-		Epoch:        d.epoch.Load(),
+		Epoch:        next.epoch,
 		AtSample:     d.samplesSeen.Load(),
 		Nodes:        d.g.NumNodes(),
 		Edges:        d.g.NumEdges(),
@@ -136,34 +162,34 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 		CostCycles:   cost,
 	})
 
-	d.newEdges = 0
+	d.newEdges.Store(0)
 	d.unencCalls.Store(0)
 	d.ccOps.Store(0)
 	d.hotMiss.Store(0)
-	if d.backoff < 4 {
-		d.backoff++
+	if b := d.backoff.Load(); b < 4 {
+		d.backoff.Store(b + 1)
 	}
 
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvReencodeEnd, Thread: tid, Reason: reason,
-			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: prog.NoFunc,
+			Epoch: next.epoch, Site: prog.NoSite, Fn: prog.NoFunc,
 			Value: uint64(cost), Aux: asn.MaxID,
 		})
 	}
 }
 
-// triggerReasonLocked attributes the pass about to run to one of the
-// paper's three triggers (checked in the order new edges → hot paths →
-// ccStack traffic, so simultaneous firings report the cheaper-to-detect
-// cause), or ReasonForced for explicit passes.
-func (d *DACCE) triggerReasonLocked(force bool) telemetry.Reason {
+// triggerReason attributes the pass about to run to one of the paper's
+// three triggers (checked in the order new edges → hot paths → ccStack
+// traffic, so simultaneous firings report the cheaper-to-detect cause),
+// or ReasonForced for explicit passes.
+func (d *DACCE) triggerReason(force bool) telemetry.Reason {
 	if force {
 		return telemetry.ReasonForced
 	}
-	scale := int64(1) << d.backoff
+	scale := int64(1) << d.backoff.Load()
 	switch {
-	case d.newEdges >= d.newEdgeThresholdLocked():
+	case d.newEdges.Load() >= d.newEdgeThreshold():
 		return telemetry.ReasonNewEdges
 	case d.unencCalls.Load() >= d.opt.Trig.UnencodedCalls*scale,
 		d.hotMiss.Load() >= d.opt.Trig.HotMissSamples*scale:
@@ -174,13 +200,15 @@ func (d *DACCE) triggerReasonLocked(force bool) telemetry.Reason {
 	return telemetry.ReasonForced
 }
 
-// triggersFiredLocked re-checks the adaptive triggers under d.mu. The
-// traffic-driven thresholds back off exponentially (capped) with every
-// pass already run: early passes are cheap and productive, late ones
-// rarely change anything.
-func (d *DACCE) triggersFiredLocked() bool {
-	scale := int64(1) << d.backoff
-	return d.newEdges >= d.newEdgeThresholdLocked() ||
+// triggersFired checks the adaptive triggers: a handful of atomic loads,
+// no lock. The traffic-driven thresholds back off exponentially (capped)
+// with every pass already run: early passes are cheap and productive,
+// late ones rarely change anything. Callers use it both as the lock-free
+// pre-check on the hot paths (Maintain, OnSample, the handler trap) and
+// as the authoritative re-check under d.mu inside reencodeIf.
+func (d *DACCE) triggersFired() bool {
+	scale := int64(1) << d.backoff.Load()
+	return d.newEdges.Load() >= d.newEdgeThreshold() ||
 		d.unencCalls.Load() >= d.opt.Trig.UnencodedCalls*scale ||
 		d.ccOps.Load() >= d.opt.Trig.CCOps*scale ||
 		d.hotMiss.Load() >= d.opt.Trig.HotMissSamples*scale
@@ -199,7 +227,7 @@ func (d *DACCE) translateThreadLocked(t *machine.Thread) {
 	}
 	st.id = 0
 	st.cc = st.cc[:0]
-	markID := d.maxID + 1
+	markID := d.cur().maxID + 1
 	for i := 1; i < t.Depth(); i++ {
 		f := t.FrameAt(i)
 		act := d.actionForLocked(edgeRef{f.Site, f.Fn})
@@ -216,8 +244,9 @@ func (d *DACCE) translateThreadLocked(t *machine.Thread) {
 // encoding context around the call. Already-active invocations get
 // their frames rewritten by the same replay used for re-encoding.
 func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
-	d.m.StopTheWorld(self)
-	defer d.m.ResumeTheWorld(self)
+	m := d.m.Load() // non-nil: only reachable from an installed trap
+	m.StopTheWorld(self)
+	defer m.ResumeTheWorld(self)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
@@ -226,7 +255,7 @@ func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
 			d.rebuildSiteLocked(e.Site)
 		}
 	}
-	for _, t := range d.m.Threads() {
+	for _, t := range m.Threads() {
 		d.translateThreadLocked(t)
 	}
 	d.stats.TailFixups++
@@ -237,7 +266,7 @@ func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
 		}
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvTailFixup, Thread: tid,
-			Epoch: d.epoch.Load(), Site: prog.NoSite, Fn: fn,
+			Epoch: d.cur().epoch, Site: prog.NoSite, Fn: fn,
 		})
 	}
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"dacce/internal/blenc"
+	"dacce/internal/graph"
+	"dacce/internal/prog"
+)
+
+// encSnap bundles the read-mostly encoding state into one immutable
+// snapshot published through DACCE.snap (RCU style). Steady-state
+// readers — patched stubs, the sampling controller, decode requests,
+// and the public MaxID/Dict/Epoch/CompressCount accessors — load the
+// pointer once and see a consistent (epoch, maxID, dictionaries,
+// tail-set, compression-set) tuple without ever taking d.mu. Writers
+// (edge discovery, re-encoding, tail fix-ups) build a fresh snapshot
+// under d.mu and publish it with a single atomic store; readers that
+// loaded the previous snapshot keep a valid, internally consistent view
+// of the epoch they started in, which is exactly the semantics the
+// per-epoch decode dictionaries of paper Fig. 6 require.
+//
+// Invariants:
+//
+//   - every field is immutable after publication; mutation is always
+//     copy-on-write under d.mu;
+//   - dicts and idx grow by one entry per epoch and share their prefix
+//     with the previous snapshot (the slices are append-copied, the
+//     *Assignment/*decodeIndex elements are shared and frozen);
+//   - epoch == len(dicts)-1 and maxID == dicts[epoch].MaxID;
+//   - tail and compress are never mutated in place: a new map replaces
+//     the old one when an entry is added.
+type encSnap struct {
+	// epoch is the current gTimeStamp.
+	epoch uint32
+	// maxID is the current epoch's maximum context id; run-time ids in
+	// (maxID, 2*maxID+1] mark saved context on the ccStack.
+	maxID uint64
+	// dicts holds one decode dictionary per epoch (Fig. 6).
+	dicts []*blenc.Assignment
+	// idx holds one immutable decode index per epoch, parallel to
+	// dicts; it lets the decoder run without touching the live (still
+	// growing) call graph.
+	idx []*decodeIndex
+	// tail is the set of functions known to contain tail calls; calls
+	// into them must save/restore the encoding context (paper §5.2).
+	tail map[prog.FuncID]bool
+	// compress is the set of back edges with Fig. 5e repetition
+	// compression enabled.
+	compress map[graph.EdgeKey]bool
+}
+
+// cur returns the current published snapshot. Callers holding d.mu see
+// the snapshot their own mutations (if any) have already published;
+// lock-free callers see some recent consistent snapshot.
+func (d *DACCE) cur() *encSnap { return d.snap.Load() }
+
+// withTailLocked returns a copy of s whose tail set additionally
+// contains fn. Caller holds d.mu and publishes the result.
+func (s *encSnap) withTailLocked(fn prog.FuncID) *encSnap {
+	tail := make(map[prog.FuncID]bool, len(s.tail)+1)
+	for k, v := range s.tail {
+		tail[k] = v
+	}
+	tail[fn] = true
+	ns := *s
+	ns.tail = tail
+	return &ns
+}
+
+// decodeIndex is the per-epoch decode acceleration structure: for every
+// function, the encoded in-edges of the epoch with their code ranges
+// (Algorithm 1 lines 26–33), plus an edge lookup table for crediting
+// sample-estimated frequencies. It is built once per re-encoding pass —
+// with d.mu held and the world stopped — and immutable afterwards, so
+// the decoder and the sampling controller can walk it lock-free while
+// the live graph keeps growing on other threads.
+//
+// An epoch's encoded edge set is frozen by construction: edges
+// discovered after the pass are unencoded (they live on the ccStack and
+// decode through the program's static site table, not through the
+// graph), so the index is complete for every capture of its epoch.
+type decodeIndex struct {
+	// in maps a function to its encoded in-edges at this epoch, in
+	// in-edge insertion order (the same order Decoder.findEdge walks
+	// Node.In), each carrying the caller's numCC for the range check.
+	in map[prog.FuncID][]inEdge
+	// edges maps every edge that existed when the index was built to
+	// its graph edge, whose Freq field is updated atomically by the
+	// sampling controller. Edges discovered later are absent; they are
+	// counted directly by their unencoded stubs, so no credit is lost.
+	edges map[graph.EdgeKey]*graph.Edge
+}
+
+// inEdge is one encoded in-edge of a function at one epoch.
+type inEdge struct {
+	site   prog.SiteID
+	caller prog.FuncID
+	code   uint64
+	ncc    uint64
+}
+
+// newDecodeIndex builds the immutable decode index for one epoch's
+// assignment. Caller holds d.mu (and, during re-encoding, the world is
+// stopped), so the graph iteration is safe.
+func newDecodeIndex(g *graph.Graph, asn *blenc.Assignment) *decodeIndex {
+	ix := &decodeIndex{
+		in:    make(map[prog.FuncID][]inEdge),
+		edges: make(map[graph.EdgeKey]*graph.Edge, len(g.Edges)),
+	}
+	for _, e := range g.Edges {
+		key := graph.EdgeKey{Site: e.Site, Target: e.Target}
+		ix.edges[key] = e
+		code, ok := asn.Codes[key]
+		if !ok || !code.Encoded {
+			continue
+		}
+		ix.in[e.Target] = append(ix.in[e.Target], inEdge{
+			site:   e.Site,
+			caller: e.Caller,
+			code:   code.Value,
+			ncc:    asn.NumCC[e.Caller],
+		})
+	}
+	return ix
+}

@@ -148,7 +148,7 @@ func (d *DACCE) pushCC(t *machine.Thread, st *tls, e CCEntry) {
 		if d.sink != nil {
 			d.sink.Emit(telemetry.Event{
 				Kind: telemetry.EvCCStackPush, Thread: int32(t.ID()),
-				Epoch: d.epoch.Load(), Site: e.Site, Fn: e.Target,
+				Epoch: d.cur().epoch, Site: e.Site, Fn: e.Target,
 				Value: uint64(len(st.cc)),
 			})
 		}
@@ -182,7 +182,7 @@ func (e *epiStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID, 
 		if d := e.d; d.sink != nil {
 			d.sink.Emit(telemetry.Event{
 				Kind: telemetry.EvCCStackPop, Thread: int32(t.ID()),
-				Epoch: d.epoch.Load(), Site: s.ID, Fn: target,
+				Epoch: d.cur().epoch, Site: s.ID, Fn: target,
 				Value: uint64(n - 1),
 			})
 		}
@@ -225,6 +225,15 @@ func (ts *trapStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID
 // graph, patch the site, possibly fix up tail-containing callers and
 // trigger a re-encoding, then execute this invocation as an unencoded
 // call (Figs. 2b, 3b: push, id = maxID+1).
+//
+// The steady state — the edge is already known, no tail-containing
+// caller was just discovered, no adaptive trigger has fired — takes
+// d.mu exactly once, covering both the edge bookkeeping and the
+// unencoded-call application. Only the rare slow path (tail fix-up or
+// re-encoding, both of which stop the world and take d.mu themselves)
+// releases the lock in between; the call must then be applied after the
+// pass, because the stop-the-world translation replays only the shadow
+// stack, which does not yet include this in-flight frame.
 func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
 	t.C.HandlerTraps++
 	t.C.InstrCost += machine.CostHandlerTrap
@@ -235,49 +244,70 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	atomic.AddInt64(&e.Freq, 1)
 	edgesDiscovered := d.stats.EdgesDiscovered
 	if isNew {
-		d.newEdges++
+		d.newEdges.Add(1)
+		d.edgeCount.Add(1)
 		d.pendingNew = append(d.pendingNew, e)
 		d.stats.EdgesDiscovered++
 		edgesDiscovered++
-		if s.Kind.IsTail() && !d.tailContaining[s.Caller] {
-			d.tailContaining[s.Caller] = true
+		if snap := d.cur(); s.Kind.IsTail() && !snap.tail[s.Caller] {
+			d.snap.Store(snap.withTailLocked(s.Caller))
 			tailFix = s.Caller
 		}
 		d.rebuildSiteLocked(s.ID)
 	}
-	d.mu.Unlock()
 
-	if d.sink != nil {
-		ep := d.epoch.Load()
-		d.sink.Emit(telemetry.Event{
-			Kind: telemetry.EvHandlerTrap, Thread: int32(t.ID()),
-			Epoch: ep, Site: s.ID, Fn: target,
-		})
-		if isNew {
-			d.sink.Emit(telemetry.Event{
-				Kind: telemetry.EvEdgeDiscovered, Thread: int32(t.ID()),
-				Epoch: ep, Site: s.ID, Fn: target,
-				Value: uint64(edgesDiscovered),
-			})
-		}
+	if tailFix == prog.NoFunc && !d.triggersFired() {
+		// Steady state: apply the unencoded call under the same
+		// acquisition; the next invocation goes through the patched stub.
+		snap := d.cur()
+		st := t.State.(*tls)
+		save := snap.tail[target] && !s.Kind.IsTail()
+		ck := d.applyAction(t, st, s.ID, target,
+			edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+		d.mu.Unlock()
+		d.emitTrap(t, s, target, isNew, edgesDiscovered)
+		return ck, d.epi
 	}
+	d.mu.Unlock()
+	d.emitTrap(t, s, target, isNew, edgesDiscovered)
 
 	if tailFix != prog.NoFunc {
 		d.tailFixup(t, tailFix)
 	}
-	if d.shouldReencode() {
+	if d.triggersFired() {
 		d.reencode(t)
 	}
 
-	// Execute this invocation as an unencoded call; the next one goes
-	// through the patched stub.
+	// Execute this invocation as an unencoded call against the state the
+	// pass above published.
 	d.mu.Lock()
-	markID := d.maxID + 1
-	save := d.tailContaining[target] && !s.Kind.IsTail()
+	snap := d.cur()
 	st := t.State.(*tls)
-	ck := d.applyAction(t, st, s.ID, target, edgeAction{target: target, kind: actUnencoded, save: save}, markID)
+	save := snap.tail[target] && !s.Kind.IsTail()
+	ck := d.applyAction(t, st, s.ID, target,
+		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
 	d.mu.Unlock()
 	return ck, d.epi
+}
+
+// emitTrap emits the handler-trap (and, for new edges, edge-discovered)
+// telemetry outside d.mu.
+func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, isNew bool, edgesDiscovered int) {
+	if d.sink == nil {
+		return
+	}
+	ep := d.cur().epoch
+	d.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvHandlerTrap, Thread: int32(t.ID()),
+		Epoch: ep, Site: s.ID, Fn: target,
+	})
+	if isNew {
+		d.sink.Emit(telemetry.Event{
+			Kind: telemetry.EvEdgeDiscovered, Thread: int32(t.ID()),
+			Epoch: ep, Site: s.ID, Fn: target,
+			Value: uint64(edgesDiscovered),
+		})
+	}
 }
 
 // siteStub is the generated instrumentation of one call site after its
@@ -380,13 +410,16 @@ func (h *hashTable) lookup(target prog.FuncID) (uint64, bool) {
 }
 
 // actionForLocked computes the instrumentation decision for one edge
-// under the newest assignment. Caller holds d.mu.
+// under the newest assignment. Caller holds d.mu and has already
+// published any snapshot change (re-encoding publishes the new epoch
+// before rebuilding), so the published snapshot is the newest state.
 func (d *DACCE) actionForLocked(e edgeRef) edgeAction {
-	asn := d.dicts[len(d.dicts)-1]
+	snap := d.cur()
+	asn := snap.dicts[len(snap.dicts)-1]
 	ge := d.g.Edge(e.site, e.target)
 	act := edgeAction{target: e.target}
 	if !s_isTail(d.p, e.site) {
-		act.save = d.tailContaining[e.target]
+		act.save = snap.tail[e.target]
 	}
 	if ge == nil {
 		act.kind = actUnencoded
@@ -399,7 +432,7 @@ func (d *DACCE) actionForLocked(e edgeRef) edgeAction {
 		act.code = code.Value
 	case ok && code.Back:
 		act.kind = actRecursive
-		act.compress = d.compress[edgeKeyOf(ge)] && !act.save
+		act.compress = snap.compress[edgeKeyOf(ge)] && !act.save
 	default:
 		act.kind = actUnencoded
 	}
@@ -417,23 +450,24 @@ func s_isTail(p *prog.Program, sid prog.SiteID) bool { return p.Site(sid).Kind.I
 // rebuildSiteLocked regenerates the stub of one call site from the
 // current graph and assignment. Caller holds d.mu.
 func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
+	m := d.m.Load() // non-nil: rebuilds only run on an installed encoder
 	edges := d.g.EdgesAt(sid)
 	if len(edges) == 0 {
-		d.m.SetStub(sid, d.trap)
+		m.SetStub(sid, d.trap)
 		return
 	}
 	s := d.p.Site(sid)
-	markID := d.maxID + 1
+	markID := d.cur().maxID + 1
 	if !s.Kind.IsIndirect() {
 		act := d.actionForLocked(edgeRef{sid, edges[0].Target})
 		if act.kind == actEncoded && act.code == 0 && !act.save {
 			// The hottest edge into each node is encoded 0 and needs no
 			// instrumentation at all (paper §4).
-			d.m.SetStub(sid, machine.PlainStub())
+			m.SetStub(sid, machine.PlainStub())
 			return
 		}
 		a := act
-		d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, direct: &a})
+		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, direct: &a})
 		return
 	}
 	actions := make([]edgeAction, 0, len(edges))
@@ -441,20 +475,20 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 		actions = append(actions, d.actionForLocked(edgeRef{sid, e.Target}))
 	}
 	if len(actions) <= d.opt.InlineThreshold {
-		d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, inline: actions})
+		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, inline: actions})
 		return
 	}
 	// Plainly encoded targets dispatch through the one-probe hash
 	// (Fig. 4); the rest — and hash conflicts — stay on a compare chain
 	// behind it.
 	h, rest := buildHash(actions)
-	d.m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
+	m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
 	if !d.hashed[sid] {
 		d.hashed[sid] = true
 		if d.sink != nil {
 			d.sink.Emit(telemetry.Event{
 				Kind: telemetry.EvIndirectPromoted, Thread: -1,
-				Epoch: d.epoch.Load(), Site: sid, Fn: prog.NoFunc,
+				Epoch: d.cur().epoch, Site: sid, Fn: prog.NoFunc,
 				Value: uint64(len(actions)),
 			})
 		}

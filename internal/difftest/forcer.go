@@ -36,6 +36,7 @@ func (f *epochForcer) ThreadStart(t, parent *machine.Thread) { f.d.ThreadStart(t
 func (f *epochForcer) ThreadExit(t *machine.Thread)          { f.d.ThreadExit(t) }
 func (f *epochForcer) Capture(t *machine.Thread) any         { return f.d.Capture(t) }
 func (f *epochForcer) Maintain(t *machine.Thread)            { f.d.Maintain(t) }
+func (f *epochForcer) ReleaseCapture(capture any)            { f.d.ReleaseCapture(capture) }
 
 // OnSample implements machine.SampleObserver.
 func (f *epochForcer) OnSample(t *machine.Thread, capture any) {

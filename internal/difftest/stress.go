@@ -25,6 +25,7 @@ func (g *liveGate) ThreadStart(t, parent *machine.Thread) { g.d.ThreadStart(t, p
 func (g *liveGate) ThreadExit(t *machine.Thread)          { g.d.ThreadExit(t) }
 func (g *liveGate) Capture(t *machine.Thread) any         { return g.d.Capture(t) }
 func (g *liveGate) Maintain(t *machine.Thread)            { g.d.Maintain(t) }
+func (g *liveGate) ReleaseCapture(capture any)            { g.d.ReleaseCapture(capture) }
 
 // OnSample implements machine.SampleObserver.
 func (g *liveGate) OnSample(t *machine.Thread, capture any) {

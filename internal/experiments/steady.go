@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dacce/internal/blenc"
+	"dacce/internal/core"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/workload"
+)
+
+// SteadyConfig parameterizes the multi-threaded steady-state
+// scalability suite: the same workload at 1/2/4/8 threads, each thread
+// count measured twice — a warm-up run on a fresh encoder (discovery,
+// re-encoding passes) and a steady run that reuses the warmed encoder,
+// the regime the paper's minutes-long benchmarks spend their time in.
+type SteadyConfig struct {
+	// Threads lists the thread counts to sweep (default 1, 2, 4, 8).
+	Threads []int
+	// CallsPerThread is each thread's call budget (default 200k).
+	CallsPerThread int64
+	// SampleEvery is the sampling period in calls (default 3 —
+	// deliberately aggressive, so the sampling controller's decode is a
+	// real part of the steady-state load the lock-free paths must carry).
+	SampleEvery int64
+	// Compare additionally runs every configuration under a
+	// mutex-serialized wrapper reproducing the pre-snapshot locking
+	// discipline (global lock around the sampling controller and the
+	// periodic maintenance check, per-sample capture allocation), and
+	// reports the lock-free/serialized throughput ratio.
+	Compare bool
+}
+
+func (c *SteadyConfig) fill() {
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8}
+	}
+	if c.CallsPerThread == 0 {
+		c.CallsPerThread = 200_000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 3
+	}
+}
+
+// SteadyRow is one measured (thread count, mode, phase) configuration.
+type SteadyRow struct {
+	Threads int `json:"threads"`
+	// Mode is "lockfree" (the build under test) or "serialized" (the
+	// global-mutex comparison wrapper).
+	Mode string `json:"mode"`
+	// Phase is "warmup" (fresh encoder: discovery + re-encoding) or
+	// "steady" (warmed encoder, stable encoding).
+	Phase         string  `json:"phase"`
+	Calls         int64   `json:"calls"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	CallsPerSec   float64 `json:"calls_per_sec"`
+	AllocsPerCall float64 `json:"allocs_per_call"`
+	Epochs        uint32  `json:"epochs"`
+	HandlerTraps  int64   `json:"handler_traps"`
+	Samples       int64   `json:"samples"`
+}
+
+// SteadyReport is the suite's result, serialized as
+// BENCH_steady_state.json.
+type SteadyReport struct {
+	Config     SteadyConfig `json:"config"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Rows       []SteadyRow  `json:"rows"`
+	// Scaling maps a thread count to steady-state lock-free throughput
+	// relative to 1 thread.
+	Scaling map[string]float64 `json:"scaling,omitempty"`
+	// Speedup maps a thread count to the steady-state lock-free vs
+	// serialized throughput ratio (present when Compare is set).
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// steadyProfile is the synthetic scalability workload for n threads:
+// a mid-size executed core with deep-enough stacks that the sampling
+// controller's decode does real work, a few indirect and recursive
+// sites so every stub kind stays on the path, and a single phase so the
+// warmed encoder reaches a genuinely steady encoding.
+func steadyProfile(n int, callsPerThread int64) workload.Profile {
+	return workload.Profile{
+		Name:          fmt.Sprintf("steady-%dt", n),
+		Seed:          0x57EAD1,
+		ExecFuncs:     96,
+		ExecEdges:     220,
+		Layers:        10,
+		IndirectSites: 4,
+		ActualTargets: 3,
+		RecSites:      2,
+		RecProb:       0.3,
+		RecStartProb:  0.05,
+		Threads:       n,
+		TotalCalls:    callsPerThread * int64(n),
+		Phases:        1,
+	}
+}
+
+// serializedScheme reproduces the pre-snapshot build for the comparison
+// rows: one global mutex serializes every sampling-controller entry and
+// every periodic maintenance check across all threads, and captures are
+// never released to the pool, so each sample allocates its snapshot —
+// the locking and allocation discipline the lock-free rework replaced.
+//
+// During warm-up the wrapper simply locks around the encoder's own
+// controller, so adaptation (discovery, re-encoding) behaves
+// identically in both modes. For the steady run, freeze() additionally
+// installs the old sampling path itself: a per-sample Decoder walking
+// graph in-edge lists with dictionary map lookups and fresh slices —
+// the exact decode the controller used to run while holding the global
+// lock.
+type serializedScheme struct {
+	d   *core.DACCE
+	mu  sync.Mutex
+	old *oldSampler
+}
+
+func (s *serializedScheme) Name() string                          { return s.d.Name() }
+func (s *serializedScheme) Install(m *machine.Machine)            { s.d.Install(m) }
+func (s *serializedScheme) ThreadStart(t, parent *machine.Thread) { s.d.ThreadStart(t, parent) }
+func (s *serializedScheme) ThreadExit(t *machine.Thread)          { s.d.ThreadExit(t) }
+func (s *serializedScheme) Capture(t *machine.Thread) any         { return s.d.Capture(t) }
+
+// OnSample serializes controller entry on the global mutex. The mutex
+// is always dropped before delegating anything that can stop the world
+// (Maintain, or the encoder's own controller): a stopper waits for
+// every running thread to park at a safepoint, and a thread blocked on
+// s.mu is running but can never park, so holding the lock across a
+// re-encoding pass would deadlock the machine.
+func (s *serializedScheme) OnSample(t *machine.Thread, capture any) {
+	if s.old != nil {
+		s.mu.Lock()
+		s.old.onSample(capture)
+		s.mu.Unlock()
+		s.d.Maintain(t)
+		return
+	}
+	s.mu.Lock()
+	s.mu.Unlock() //lint:ignore SA2001 empty section models the old per-sample lock acquisition
+	s.d.OnSample(t, capture)
+}
+
+// Maintain pays the old per-tick global-lock acquisition, then runs the
+// trigger check unlocked (see OnSample for why the lock cannot be held
+// across a possible stop-the-world).
+func (s *serializedScheme) Maintain(t *machine.Thread) {
+	s.mu.Lock()
+	s.mu.Unlock() //lint:ignore SA2001 empty section models the old per-tick lock acquisition
+	s.d.Maintain(t)
+}
+
+// oldSampler is the pre-snapshot sampling controller, rebuilt from the
+// exported decode API: a graph-walking Decoder constructed per sample,
+// decoding with fresh slice copies, then crediting edge heat. It works
+// on a frozen clone of the call graph taken at a quiescent point (the
+// clone's in-edge lists have the same layout and lookup pattern the
+// live graph walk had, and freezing keeps the comparison run race-free
+// against the rare late edge discovery).
+type oldSampler struct {
+	p     *prog.Program
+	g     *graph.Graph
+	dicts []*blenc.Assignment
+	edges map[graph.EdgeKey]*graph.Edge // live edges, for atomic Freq credit
+}
+
+// freeze snaps the old-path decode state between the warm-up and steady
+// runs. Must be called while no machine is running.
+func (s *serializedScheme) freeze(p *prog.Program) {
+	live := s.d.Graph()
+	clone := graph.New(p)
+	edges := make(map[graph.EdgeKey]*graph.Edge, len(live.Edges))
+	for _, r := range live.Roots() {
+		clone.AddRoot(r)
+	}
+	for _, e := range live.Edges {
+		clone.AddEdge(e.Site, e.Target)
+		edges[graph.EdgeKey{Site: e.Site, Target: e.Target}] = e
+	}
+	var dicts []*blenc.Assignment
+	for ep := uint32(0); ; ep++ {
+		dict := s.d.Dict(ep)
+		if dict == nil {
+			break
+		}
+		dicts = append(dicts, dict)
+	}
+	s.old = &oldSampler{p: p, g: clone, dicts: dicts, edges: edges}
+}
+
+func (o *oldSampler) onSample(capture any) {
+	c, ok := capture.(*core.Capture)
+	if !ok || c == nil || int(c.Epoch) >= len(o.dicts) {
+		return
+	}
+	dec := &core.Decoder{P: o.p, G: o.g, Dicts: o.dicts}
+	ctx, err := dec.Decode(c)
+	if err != nil {
+		return
+	}
+	for i := 1; i < len(ctx); i++ {
+		if e := o.edges[graph.EdgeKey{Site: ctx[i].Site, Target: ctx[i].Fn}]; e != nil {
+			atomic.AddInt64(&e.Freq, 1)
+		}
+	}
+}
+
+// SteadyState runs the scalability suite and returns the report.
+func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
+	cfg.fill()
+	rep := &SteadyReport{
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scaling:    map[string]float64{},
+	}
+	if cfg.Compare {
+		rep.Speedup = map[string]float64{}
+	}
+
+	steadyRate := map[int]float64{}
+	for _, n := range cfg.Threads {
+		pr := steadyProfile(n, cfg.CallsPerThread)
+		w, err := workload.Build(pr)
+		if err != nil {
+			return nil, err
+		}
+
+		run := func(mode string, d *core.DACCE, scheme machine.Scheme, phase string) (*SteadyRow, error) {
+			m := w.NewMachine(scheme, machine.Config{
+				SampleEvery: cfg.SampleEvery,
+				DropSamples: true,
+			})
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			rs, err := m.Run()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return nil, err
+			}
+			row := SteadyRow{
+				Threads:       n,
+				Mode:          mode,
+				Phase:         phase,
+				Calls:         rs.C.Calls,
+				ElapsedMs:     float64(elapsed.Microseconds()) / 1e3,
+				CallsPerSec:   float64(rs.C.Calls) / elapsed.Seconds(),
+				AllocsPerCall: float64(after.Mallocs-before.Mallocs) / float64(rs.C.Calls),
+				Epochs:        d.Epoch(),
+				HandlerTraps:  rs.C.HandlerTraps,
+				Samples:       rs.C.Samples,
+			}
+			rep.Rows = append(rep.Rows, row)
+			return &row, nil
+		}
+
+		// Lock-free build: warm-up on a fresh encoder, then a steady run
+		// reusing it (Install re-traps every site; the warmed graph
+		// re-patches them on first touch without new discoveries).
+		d := core.New(w.P, core.Options{})
+		if _, err := run("lockfree", d, d, "warmup"); err != nil {
+			return nil, err
+		}
+		steady, err := run("lockfree", d, d, "steady")
+		if err != nil {
+			return nil, err
+		}
+		steadyRate[n] = steady.CallsPerSec
+
+		if cfg.Compare {
+			ds := core.New(w.P, core.Options{})
+			ws := &serializedScheme{d: ds}
+			if _, err := run("serialized", ds, ws, "warmup"); err != nil {
+				return nil, err
+			}
+			ws.freeze(w.P)
+			ser, err := run("serialized", ds, ws, "steady")
+			if err != nil {
+				return nil, err
+			}
+			if ser.CallsPerSec > 0 {
+				rep.Speedup[fmt.Sprint(n)] = steady.CallsPerSec / ser.CallsPerSec
+			}
+		}
+	}
+	if base := steadyRate[cfg.Threads[0]]; base > 0 {
+		for n, r := range steadyRate {
+			rep.Scaling[fmt.Sprint(n)] = r / base
+		}
+	}
+	return rep, nil
+}

@@ -76,3 +76,11 @@ func (w *instrumented) Maintain(t *Thread) {
 		mt.Maintain(t)
 	}
 }
+
+// ReleaseCapture implements CaptureReleaser, forwarding when the inner
+// scheme pools its captures.
+func (w *instrumented) ReleaseCapture(capture any) {
+	if rel, ok := w.inner.(CaptureReleaser); ok {
+		rel.ReleaseCapture(capture)
+	}
+}

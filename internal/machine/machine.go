@@ -85,6 +85,16 @@ type SampleObserver interface {
 	OnSample(t *Thread, capture any)
 }
 
+// CaptureReleaser is implemented by schemes that pool their Capture
+// snapshots. The machine calls ReleaseCapture on every capture it
+// decided not to retain, once the sampling observer is done with it —
+// the scheme may then recycle the object. Captures retained as samples
+// (or handed out by direct Capture calls) are never released by the
+// machine.
+type CaptureReleaser interface {
+	ReleaseCapture(capture any)
+}
+
 // Maintainer is implemented by schemes that need periodic control even
 // when nothing samples or traps — DACCE checks its re-encoding triggers
 // here. Maintain runs at a clean point (no call in flight on t) every
@@ -163,6 +173,7 @@ type Machine struct {
 
 	sampleObs  SampleObserver
 	maintainer Maintainer
+	releaser   CaptureReleaser
 
 	started bool
 	stats   RunStats
@@ -183,6 +194,9 @@ func New(p *prog.Program, scheme Scheme, cfg Config) *Machine {
 	}
 	if obs, ok := scheme.(SampleObserver); ok {
 		m.sampleObs = obs
+	}
+	if rel, ok := scheme.(CaptureReleaser); ok {
+		m.releaser = rel
 	}
 	if mt, ok := scheme.(Maintainer); ok {
 		m.maintainer = mt

@@ -406,6 +406,10 @@ func (t *Thread) maybeSample() {
 			Capture: snap,
 			Shadow:  t.ShadowCopy(),
 		})
+	} else if t.m.releaser != nil {
+		// The capture is not retained and the observer is done with it:
+		// hand it back so the scheme can recycle the allocation.
+		t.m.releaser.ReleaseCapture(snap)
 	}
 	t.sampleSeq++
 }

@@ -1,0 +1,176 @@
+// Steady-state benchmarks and allocation gates for the lock-free
+// runtime paths: the encoded call fast path, capture, and the sampling
+// controller. The gates are tests, not benchmarks, so `go test ./...`
+// fails if an allocation sneaks back into a path the snapshot design
+// made allocation-free; the benchmarks report the same paths' wall
+// cost and allocs/op for trend tracking. The multi-threaded scalability
+// suite itself lives in internal/experiments (SteadyState) and is
+// driven by `daccebench steady`; BenchmarkSteadyScaling runs a reduced
+// version here so `go test -bench Steady` shows the shape without the
+// full sweep.
+package dacce_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dacce"
+	"dacce/internal/core"
+	"dacce/internal/experiments"
+	"dacce/internal/machine"
+)
+
+// steadyFixture is a warmed single-thread machine parked at
+// main → mid, with mid's body blocked on a channel so the benchmark
+// goroutine can puppet the thread: drive calls on an already-encoded
+// site, take captures, and feed the sampling controller directly. The
+// pattern follows BenchmarkCapture; it works because the machine's
+// thread is a cooperative executor, not an OS thread, and exactly one
+// goroutine drives it at a time.
+type steadyFixture struct {
+	d    *core.DACCE
+	th   *machine.Thread
+	site dacce.SiteID
+	stop chan struct{}
+}
+
+func newSteadyFixture(tb testing.TB) *steadyFixture {
+	tb.Helper()
+	bld := dacce.NewBuilder()
+	mainF := bld.Func("main")
+	mid := bld.Func("mid")
+	leaf := bld.Func("leaf")
+	siteMid := bld.CallSite(mainF, mid)
+	siteLeaf := bld.CallSite(mid, leaf)
+	f := &steadyFixture{stop: make(chan struct{})}
+	done := make(chan struct{})
+	bld.Body(mainF, func(x dacce.Exec) { x.Call(siteMid, dacce.NoFunc) })
+	bld.Body(mid, func(x dacce.Exec) {
+		f.th = x.(*machine.Thread)
+		close(done)
+		<-f.stop
+	})
+	p := bld.MustBuild()
+	f.d = core.New(p, core.Options{})
+	// Sampling off: the fixture's users sample by hand; Maintain still
+	// runs on its default period and must stay allocation-free too.
+	m := machine.New(p, f.d, machine.Config{})
+	go func() { _, _ = m.Run() }()
+	<-done
+
+	// Discover the leaf edge, then re-encode so the site is patched with
+	// the zero-cost encoded stub — the steady state under test.
+	f.th.Call(siteLeaf, dacce.NoFunc)
+	f.d.ForceReencode(f.th)
+	f.site = siteLeaf
+	if got := f.d.Epoch(); got == 0 {
+		tb.Fatal("fixture: forced re-encoding did not advance the epoch")
+	}
+	return f
+}
+
+func (f *steadyFixture) close() { close(f.stop) }
+
+// encodedCall drives one full call+return through the encoded stub:
+// prologue safepoint, id arithmetic, empty leaf body, epilogue.
+func (f *steadyFixture) encodedCall() { f.th.Call(f.site, dacce.NoFunc) }
+
+// sampleOnce exercises the full steady-state sampling path the machine
+// runs every SampleEvery calls: pooled capture, lock-free decode on the
+// thread's scratch buffers, heat credit, trigger check, release.
+func (f *steadyFixture) sampleOnce() {
+	c := f.d.Capture(f.th)
+	f.d.OnSample(f.th, c)
+	f.d.ReleaseCapture(c)
+}
+
+// TestEncodedFastPathNoAllocs gates the tentpole invariant: a call
+// through an encoded site in steady state performs zero heap
+// allocations. This is the path the paper's near-zero overhead claim
+// rests on — one add on call, one subtract on return.
+func TestEncodedFastPathNoAllocs(t *testing.T) {
+	f := newSteadyFixture(t)
+	defer f.close()
+	for i := 0; i < 64; i++ { // warm pools and thread-local buffers
+		f.encodedCall()
+	}
+	if avg := testing.AllocsPerRun(1000, f.encodedCall); avg != 0 {
+		t.Fatalf("encoded call fast path allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestOnSampleNoAllocs gates the sampling controller: capture, decode,
+// heat estimation and trigger check run without heap allocation once
+// the capture pool and the thread's decoder scratch are warm. Before
+// the snapshot rework this path allocated a Decoder, a ccStack copy
+// and two decode buffers per sample while holding the global mutex.
+func TestOnSampleNoAllocs(t *testing.T) {
+	f := newSteadyFixture(t)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.sampleOnce()
+	}
+	if avg := testing.AllocsPerRun(1000, f.sampleOnce); avg != 0 {
+		t.Fatalf("steady-state sampling allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkEncodedCall measures the encoded call+return fast path.
+func BenchmarkEncodedCall(b *testing.B) {
+	f := newSteadyFixture(b)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.encodedCall()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.encodedCall()
+	}
+}
+
+// BenchmarkOnSample measures the steady-state sampling path
+// (capture + lock-free decode + heat credit + release).
+func BenchmarkOnSample(b *testing.B) {
+	f := newSteadyFixture(b)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.sampleOnce()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sampleOnce()
+	}
+}
+
+// BenchmarkSteadyScaling runs a reduced steady-state suite per thread
+// count: warm-up on a fresh encoder, then the steady run whose
+// throughput is reported. The full sweep with the serialized
+// comparison is `daccebench steady`.
+func BenchmarkSteadyScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dthreads", n), func(b *testing.B) {
+			var rep *experiments.SteadyReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = experiments.SteadyState(experiments.SteadyConfig{
+					Threads:        []int{n},
+					CallsPerThread: 60_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, row := range rep.Rows {
+				switch row.Phase {
+				case "steady":
+					b.ReportMetric(row.CallsPerSec, "steady_calls/s")
+					b.ReportMetric(row.AllocsPerCall, "steady_allocs/call")
+				case "warmup":
+					b.ReportMetric(row.CallsPerSec, "warm_calls/s")
+				}
+			}
+		})
+	}
+}
