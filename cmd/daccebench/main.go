@@ -23,8 +23,8 @@ import (
 	"strconv"
 	"strings"
 
+	"dacce/internal/cliutil"
 	"dacce/internal/experiments"
-	"dacce/internal/telemetry"
 	"dacce/internal/workload"
 )
 
@@ -45,15 +45,20 @@ func run() int {
 	benchList := fs.String("bench", "", "comma-separated benchmark subset")
 	sample := fs.Int64("sample", 256, "sampling period in calls")
 	profileFile := fs.String("profiles", "", "JSON file of custom workload profiles (see 'daccebench dump-profiles')")
-	metrics := fs.Bool("metrics", false, "print a telemetry metrics snapshot to stderr after the run")
-	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing)")
-	flightN := fs.Int("flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on overflow or decode failure")
+	tel := cliutil.AddTelemetry(fs)
+	state := cliutil.AddState(fs)
+	version := cliutil.AddVersion(fs)
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := fs.String("bench-json", "", "write machine-readable results (JSON) to this file")
 	threadsFlag := fs.String("threads", "", "steady: comma-separated thread counts (default 1,2,4,8)")
 	compare := fs.Bool("compare", false, "steady: also run the mutex-serialized comparison build and report speedups")
 	_ = fs.Parse(os.Args[2:])
+
+	if *version || cmd == "-version" || cmd == "version" {
+		cliutil.PrintVersion("daccebench")
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -95,22 +100,7 @@ func run() int {
 
 	// Telemetry sinks aggregate across every benchmark run the
 	// subcommand performs; snapshots are written once on the way out.
-	var mts *telemetry.Metrics
-	var ctr *telemetry.ChromeTrace
-	var sinks []telemetry.Sink
-	if *metrics {
-		mts = telemetry.NewMetrics()
-		sinks = append(sinks, mts)
-	}
-	if *traceOut != "" {
-		ctr = telemetry.NewChromeTrace()
-		sinks = append(sinks, ctr)
-	}
-	if *flightN > 0 {
-		sinks = append(sinks, telemetry.NewFlightRecorder(*flightN, os.Stderr))
-	}
-
-	cfg := experiments.RunConfig{Calls: *calls, SampleEvery: *sample, Sink: telemetry.Multi(sinks...)}
+	cfg := experiments.RunConfig{Calls: *calls, SampleEvery: *sample, Sink: tel.Sink()}
 	var err error
 	profiles := func() []workload.Profile {
 		if *profileFile != "" {
@@ -122,6 +112,11 @@ func run() int {
 			return ps
 		}
 		return selectProfiles(*benchList)
+	}
+
+	if state.Active() && cmd != "steady" {
+		fmt.Fprintln(os.Stderr, "daccebench: -save-state/-load-state only apply to the steady subcommand")
+		return 2
 	}
 
 	switch cmd {
@@ -140,7 +135,7 @@ func run() int {
 		}
 		err = runReport(out, cfg)
 	case "steady":
-		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON)
+		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON, state)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -151,11 +146,8 @@ func run() int {
 		usage()
 		return 2
 	}
-	if err == nil && ctr != nil {
-		err = writeTrace(*traceOut, ctr)
-	}
-	if err == nil && mts != nil {
-		err = mts.WritePrometheus(os.Stderr)
+	if err == nil {
+		err = tel.Finish(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "daccebench:", err)
@@ -167,11 +159,13 @@ func run() int {
 // runSteady drives the multi-threaded steady-state scalability suite
 // and renders a summary table; -bench-json additionally writes the full
 // report in the BENCH_steady_state.json format.
-func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare bool, jsonOut string) error {
+func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare bool, jsonOut string, state *cliutil.State) error {
 	cfg := experiments.SteadyConfig{
 		CallsPerThread: callsPerThread,
 		SampleEvery:    sampleEvery,
 		Compare:        compare,
+		LoadState:      state.Load,
+		SaveState:      state.Save,
 	}
 	// The shared -sample default (256) suits the figure benchmarks; the
 	// steady suite wants its own aggressive default so the sampling
@@ -223,24 +217,8 @@ func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare boo
 	return nil
 }
 
-func writeTrace(path string, ctr *telemetry.ChromeTrace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := ctr.Export(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "trace: %d events written to %s (open in chrome://tracing)\n", ctr.Len(), path)
-	return nil
-}
-
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|all|report [file]|dump-profiles} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-profiles file.json] [-metrics] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -1,0 +1,118 @@
+// Command dacced is the multi-tenant decode daemon: it serves the
+// decode side of the DACCE error-reporting pipeline over HTTP, so
+// instrumented processes ship tiny (epoch, id, ccStack) captures and a
+// central service expands them into full calling contexts using
+// persisted encoder snapshots.
+//
+//	daccerun -bench 429.mcf -save-state mcf.snap -dump /tmp/run
+//	dacced -listen :8357 -load mcf=mcf.snap
+//	daccedecode -dir /tmp/run -remote http://localhost:8357 -tenant mcf
+//
+// Each -load registers one tenant, keyed by name and by the snapshot's
+// state hash (name@hash), so several snapshot generations of the same
+// program can be served side by side; new generations can also be
+// uploaded at runtime via POST /v1/snapshot?tenant=NAME.
+//
+// Endpoints: POST /v1/decode, GET|POST /v1/snapshot, GET /v1/stats,
+// GET /healthz, GET /metrics. See internal/server for the wire format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"dacce/internal/buildinfo"
+	"dacce/internal/cliutil"
+	"dacce/internal/server"
+)
+
+// loadFlags collects repeated -load name=path (or bare path) values.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	listen := flag.String("listen", ":8357", "HTTP listen address")
+	maxConcurrent := flag.Int("max-concurrent", 4, "concurrent decode requests per tenant")
+	queueDepth := flag.Int("queue-depth", 64, "queued decode requests per tenant before 429")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+	version := cliutil.AddVersion(flag.CommandLine)
+	flag.Var(&loads, "load", "snapshot to serve, as name=path or path (tenant name from the file name); repeatable")
+	flag.Parse()
+
+	if *version {
+		cliutil.PrintVersion("dacced")
+		return
+	}
+	if err := run(*listen, loads, *maxConcurrent, *queueDepth, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "dacced:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, loads []string, maxConcurrent, queueDepth int, drainTimeout time.Duration) error {
+	srv := server.New(server.Config{MaxConcurrent: maxConcurrent, QueueDepth: queueDepth})
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		if name == "" {
+			return fmt.Errorf("-load %q: empty tenant name", spec)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		key, err := srv.Register(name, data)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		log.Printf("tenant %s: %s (%d bytes)", key, path, len(data))
+	}
+
+	hs := &http.Server{Addr: listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dacced %s listening on %s (%d tenants)", buildinfo.Get().String(), listen, len(loads))
+		errc <- hs.ListenAndServe()
+	}()
+
+	// Graceful shutdown: stop accepting, drain in-flight decodes, then
+	// exit; a second signal or the drain timeout forces the issue.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, draining (timeout %v)", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("drained cleanly")
+		return nil
+	}
+}

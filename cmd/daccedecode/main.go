@@ -5,35 +5,76 @@
 //
 //	daccerun -bench 445.gobmk -dump /tmp/run        # writes bundle + captures
 //	daccedecode -dir /tmp/run [-n 10]
+//
+// With -remote the captures are posted to a dacced decode server
+// instead of being decoded in-process; the output lines are identical,
+// so `daccedecode -remote` can be diffed against a local decode.
+//
+//	daccedecode -dir /tmp/run -remote http://localhost:8357 -tenant myprog
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 
 	"dacce/internal/ccprof"
+	"dacce/internal/cliutil"
 	"dacce/internal/core"
+	"dacce/internal/server"
 )
+
+// remoteBatch bounds how many captures each /v1/decode request carries.
+const remoteBatch = 512
 
 func main() {
 	dir := flag.String("dir", "", "directory holding bundle.json and captures.json")
 	n := flag.Int("n", 0, "decode only the first n captures (0 = all)")
 	tree := flag.Bool("tree", false, "aggregate all captures into a calling-context profile tree instead of listing them")
+	remote := flag.String("remote", "", "decode via a dacced server at this base URL instead of in-process")
+	tenant := flag.String("tenant", "", "tenant name or name@hash for -remote")
+	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		cliutil.PrintVersion("daccedecode")
+		return
+	}
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: daccedecode -dir <dump-dir> [-n N] [-tree]")
+		fmt.Fprintln(os.Stderr, "usage: daccedecode -dir <dump-dir> [-n N] [-tree] [-remote URL -tenant NAME]")
 		os.Exit(2)
 	}
-	if err := run(*dir, *n, *tree); err != nil {
+	if *remote != "" && *tree {
+		fmt.Fprintln(os.Stderr, "daccedecode: -remote and -tree are mutually exclusive")
+		os.Exit(2)
+	}
+	if *remote != "" && *tenant == "" {
+		fmt.Fprintln(os.Stderr, "daccedecode: -remote requires -tenant")
+		os.Exit(2)
+	}
+	if err := run(*dir, *n, *tree, *remote, *tenant); err != nil {
 		fmt.Fprintln(os.Stderr, "daccedecode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, n int, tree bool) error {
+func run(dir string, n int, tree bool, remote, tenant string) error {
+	captures, err := readCaptures(dir)
+	if err != nil {
+		return err
+	}
+	if n > 0 && n < len(captures) {
+		captures = captures[:n]
+	}
+
+	if remote != "" {
+		return runRemote(remote, tenant, captures)
+	}
+
 	bf, err := os.Open(filepath.Join(dir, "bundle.json"))
 	if err != nil {
 		return err
@@ -46,19 +87,6 @@ func run(dir string, n int, tree bool) error {
 	dec, err := core.NewDecoderFromBundle(bundle)
 	if err != nil {
 		return err
-	}
-
-	cf, err := os.Open(filepath.Join(dir, "captures.json"))
-	if err != nil {
-		return err
-	}
-	defer cf.Close()
-	var captures []*core.Capture
-	if err := json.NewDecoder(cf).Decode(&captures); err != nil {
-		return fmt.Errorf("reading captures: %w", err)
-	}
-	if n > 0 && n < len(captures) {
-		captures = captures[:n]
 	}
 
 	fmt.Printf("bundle: %d funcs, %d edges, %d epochs; decoding %d captures\n\n",
@@ -105,6 +133,74 @@ func run(dir string, n int, tree bool) error {
 		return fmt.Errorf("%d of %d captures failed to decode", failures, len(captures))
 	}
 	return nil
+}
+
+// runRemote posts the captures to a dacced server in batches and prints
+// the same per-capture lines the in-process path does, frame names
+// taken from the server's response.
+func runRemote(base, tenant string, captures []*core.Capture) error {
+	url := base + "/v1/decode"
+	fmt.Printf("remote: %s tenant %s; decoding %d captures\n\n", base, tenant, len(captures))
+	failures := 0
+	for off := 0; off < len(captures); off += remoteBatch {
+		batch := captures[off:min(off+remoteBatch, len(captures))]
+		body, err := json.Marshal(server.DecodeRequest{Tenant: tenant, Captures: batch})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+		}
+		var dr server.DecodeResponse
+		if err := json.Unmarshal(data, &dr); err != nil {
+			return fmt.Errorf("bad response from %s: %w", url, err)
+		}
+		if len(dr.Results) != len(batch) {
+			return fmt.Errorf("%s returned %d results for %d captures", url, len(dr.Results), len(batch))
+		}
+		for j, res := range dr.Results {
+			i, c := off+j, batch[j]
+			if res.Error != "" {
+				failures++
+				fmt.Printf("%4d  epoch=%-3d id=%-8d  DECODE ERROR: %v\n", i, c.Epoch, c.ID, res.Error)
+				continue
+			}
+			s := ""
+			for k, f := range res.Frames {
+				if k > 0 {
+					s += " → "
+				}
+				s += f.Name
+			}
+			fmt.Printf("%4d  epoch=%-3d id=%-8d |cc|=%-3d %s\n", i, c.Epoch, c.ID, len(c.CC), s)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d captures failed to decode", failures, len(captures))
+	}
+	return nil
+}
+
+func readCaptures(dir string) ([]*core.Capture, error) {
+	cf, err := os.Open(filepath.Join(dir, "captures.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	var captures []*core.Capture
+	if err := json.NewDecoder(cf).Decode(&captures); err != nil {
+		return nil, fmt.Errorf("reading captures: %w", err)
+	}
+	return captures, nil
 }
 
 func pretty(b *core.Bundle, ctx core.Context) string {

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dacce/internal/cliutil"
 	"dacce/internal/difftest"
 	"dacce/internal/experiments"
 	"dacce/internal/telemetry"
@@ -52,7 +53,13 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a telemetry metrics snapshot after the run")
 	metricsFormat := flag.String("metrics-format", "prom", "metrics snapshot format: prom|json")
 	flightN := flag.Int("flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on the first divergence")
+	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		cliutil.PrintVersion("daccedifftest")
+		return
+	}
 
 	// All replays share one telemetry pipeline: encoder events plus one
 	// EvDivergence per recorded mismatch.

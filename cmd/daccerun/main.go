@@ -6,6 +6,11 @@
 //
 // Schemes: null, dacce, pcce, stackwalk, cct, pcc.
 //
+// Persistence: -save-state writes the warmed encoder snapshot after the
+// run; -load-state warm-starts from one, re-installing the discovered
+// graph and every epoch's dictionary so the replay executes zero
+// handler traps (dacce only).
+//
 // Telemetry: -metrics prints a metrics snapshot after the run,
 // -trace-out writes a Chrome trace-event file (load it in
 // chrome://tracing or Perfetto), -flight-recorder keeps a ring buffer
@@ -20,23 +25,15 @@ import (
 	"path/filepath"
 
 	"dacce/internal/cct"
+	"dacce/internal/cliutil"
 	"dacce/internal/core"
 	"dacce/internal/machine"
 	"dacce/internal/pcc"
 	"dacce/internal/pcce"
 	"dacce/internal/stackwalk"
 	"dacce/internal/stats"
-	"dacce/internal/telemetry"
 	"dacce/internal/workload"
 )
-
-// telemetryOpts bundles the observability flags.
-type telemetryOpts struct {
-	metrics       bool
-	metricsFormat string
-	traceOut      string
-	flightN       int
-}
 
 func main() {
 	bench := flag.String("bench", "429.mcf", "benchmark name (see -list)")
@@ -46,26 +43,28 @@ func main() {
 	dump := flag.String("dump", "", "directory to write bundle.json + captures.json (dacce only)")
 	validate := flag.Bool("validate", false, "cross-validate every sampled context against the shadow stack (dacce/pcce)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
-	var tel telemetryOpts
-	flag.BoolVar(&tel.metrics, "metrics", false, "print a telemetry metrics snapshot after the run")
-	flag.StringVar(&tel.metricsFormat, "metrics-format", "prom", "metrics snapshot format: prom|json")
-	flag.StringVar(&tel.traceOut, "trace-out", "", "write a Chrome trace-event JSON file (chrome://tracing)")
-	flag.IntVar(&tel.flightN, "flight-recorder", 0, "keep a flight-recorder ring of the last N events, dumped to stderr on overflow or decode failure")
+	tel := cliutil.AddTelemetry(flag.CommandLine)
+	state := cliutil.AddState(flag.CommandLine)
+	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		cliutil.PrintVersion("daccerun")
+		return
+	}
 	if *list {
 		for _, n := range workload.Names() {
 			fmt.Println(n)
 		}
 		return
 	}
-	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate, tel); err != nil {
+	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate, tel, state); err != nil {
 		fmt.Fprintln(os.Stderr, "daccerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, schemeName string, calls, sample int64, dump string, validate bool, tel telemetryOpts) error {
+func run(bench, schemeName string, calls, sample int64, dump string, validate bool, tel *cliutil.Telemetry, state *cliutil.State) error {
 	pr, ok := workload.ByName(bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", bench)
@@ -82,23 +81,11 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	// event stream: DACCE emits encoder events through Options.Sink,
 	// and Instrument adds thread lifecycle and sampling events for
 	// every scheme, baselines included.
-	var mts *telemetry.Metrics
-	var ctr *telemetry.ChromeTrace
-	var fr *telemetry.FlightRecorder
-	var sinks []telemetry.Sink
-	if tel.metrics {
-		mts = telemetry.NewMetrics()
-		sinks = append(sinks, mts)
+	sink := tel.Sink()
+
+	if state.Active() && schemeName != "dacce" {
+		return fmt.Errorf("-save-state/-load-state require -scheme dacce")
 	}
-	if tel.traceOut != "" {
-		ctr = telemetry.NewChromeTrace()
-		sinks = append(sinks, ctr)
-	}
-	if tel.flightN > 0 {
-		fr = telemetry.NewFlightRecorder(tel.flightN, os.Stderr)
-		sinks = append(sinks, fr)
-	}
-	sink := telemetry.Multi(sinks...)
 
 	var sch machine.Scheme
 	var d *core.DACCE
@@ -107,7 +94,14 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	case "null":
 		sch = machine.NullScheme{}
 	case "dacce":
-		d = core.New(w.P, core.Options{TrackProgress: true, Sink: sink})
+		d, err = state.NewEncoder(w.P, core.Options{TrackProgress: true, Sink: sink})
+		if err != nil {
+			return err
+		}
+		if state.Load != "" {
+			st := d.Stats()
+			fmt.Printf("warm start     %s: epoch %d, %d nodes, %d edges\n", state.Load, d.Epoch(), st.Nodes, st.Edges)
+		}
 		sch = d
 	case "pcce":
 		prof, err := w.CollectProfile()
@@ -204,39 +198,18 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 		}
 		fmt.Printf("dump           bundle + %d captures written to %s\n", len(rs.Samples), dump)
 	}
-	if ctr != nil {
-		tf, err := os.Create(tel.traceOut)
-		if err != nil {
-			return fmt.Errorf("writing trace: %w", err)
+	if d != nil {
+		if err := state.SaveIfSet(d); err != nil {
+			return err
 		}
-		if err := ctr.Export(tf); err != nil {
-			tf.Close()
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		if err := tf.Close(); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
-		}
-		fmt.Printf("trace          %d events written to %s (open in chrome://tracing)\n", ctr.Len(), tel.traceOut)
 	}
-	if fr != nil && fr.Dumps() == 0 {
+	if fr := tel.Flight(); fr != nil && fr.Dumps() == 0 {
 		fmt.Printf("flight rec.    %d events buffered, no overflow or decode failure\n", fr.Len())
 	}
-	if mts != nil {
+	if tel.PrintMetrics {
 		fmt.Println()
-		switch tel.metricsFormat {
-		case "prom":
-			if err := mts.WritePrometheus(os.Stdout); err != nil {
-				return fmt.Errorf("writing metrics: %w", err)
-			}
-		case "json":
-			if err := mts.WriteJSON(os.Stdout); err != nil {
-				return fmt.Errorf("writing metrics: %w", err)
-			}
-		default:
-			return fmt.Errorf("unknown -metrics-format %q (want prom or json)", tel.metricsFormat)
-		}
 	}
-	return nil
+	return tel.Finish(os.Stdout)
 }
 
 // writeDump exports the decode bundle and the sampled captures, the

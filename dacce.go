@@ -46,6 +46,7 @@ import (
 	"dacce/internal/machine"
 	"dacce/internal/pcc"
 	"dacce/internal/pcce"
+	"dacce/internal/persist"
 	"dacce/internal/prog"
 	"dacce/internal/stackwalk"
 	"dacce/internal/telemetry"
@@ -280,3 +281,41 @@ func MultiSink(sinks ...Sink) Sink { return telemetry.Multi(sinks...) }
 // flow into sink, putting baselines on the same event stream as DACCE.
 // A nil sink returns s unchanged.
 func Instrument(s Scheme, sink Sink) Scheme { return machine.Instrument(s, sink) }
+
+// Persistence: snapshot the full encoder state to a self-describing
+// binary blob (magic, version, CRC) and warm-start a later process from
+// it — the restarted encoder re-installs the discovered graph and every
+// epoch's dictionary, so replaying the same workload executes zero
+// handler traps. Snapshots also rehydrate into standalone decoders,
+// which is what the dacced decode service serves per tenant.
+type (
+	// EncoderState is the complete persisted encoder state.
+	EncoderState = core.EncoderState
+	// Decoder decodes captures offline, without a live encoder.
+	Decoder = core.Decoder
+)
+
+// MarshalState serializes a state snapshot to the versioned,
+// checksummed binary format.
+func MarshalState(st *EncoderState) ([]byte, error) { return persist.Marshal(st) }
+
+// UnmarshalState parses and validates a snapshot blob.
+func UnmarshalState(data []byte) (*EncoderState, error) { return persist.Unmarshal(data) }
+
+// StateHash returns the canonical content hash of a snapshot blob, the
+// tenant-distinguishing suffix of the dacced registry key.
+func StateHash(data []byte) string { return persist.Hash(data) }
+
+// SaveState atomically writes enc's snapshot to path
+// (write-to-temp + rename).
+func SaveState(path string, enc *Encoder) error { return persist.SaveEncoder(path, enc) }
+
+// LoadState reads and validates a snapshot file.
+func LoadState(path string) (*EncoderState, error) { return persist.Load(path) }
+
+// WarmStart builds an encoder for p pre-loaded with the snapshot at
+// path: the graph, dictionaries and adaptive counters resume where the
+// saving process left off.
+func WarmStart(path string, p *Program, opt Options) (*Encoder, error) {
+	return persist.WarmStart(path, p, opt)
+}

@@ -1,0 +1,73 @@
+// Package buildinfo reports the module version and VCS revision baked
+// into the binary by the Go toolchain, so every CLI can answer
+// -version and dacced can expose what build is serving on /v1/stats —
+// without any of them linking each other.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Info identifies a build.
+type Info struct {
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, if the build had one.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time, if known.
+	Time string `json:"time,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the binary's embedded build information. Binaries built
+// without module support (rare: test binaries under odd configurations)
+// report "unknown".
+func Get() Info {
+	info := Info{Version: "unknown", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info on one line: version, short revision, dirty
+// marker.
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if i.Modified {
+			s += "+dirty"
+		}
+	}
+	return s + " (" + i.GoVersion + ")"
+}
+
+// Print writes the standard -version output for a tool.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s\n", tool, Get())
+}

@@ -8,6 +8,7 @@ import (
 	"dacce/internal/machine"
 	"dacce/internal/pcc"
 	"dacce/internal/pcce"
+	"dacce/internal/persist"
 	"dacce/internal/prog"
 	"dacce/internal/stackwalk"
 	"dacce/internal/telemetry"
@@ -62,9 +63,15 @@ type Result struct {
 	Samples int `json:"samples"`
 	// Epochs is how many re-encoding passes the DACCE replay went
 	// through — the epoch-boundary coverage of the run.
-	Epochs      uint32                    `json:"epochs"`
-	Encoders    map[string]*EncoderReport `json:"encoders"`
-	Divergences []Divergence              `json:"divergences,omitempty"`
+	Epochs uint32 `json:"epochs"`
+	// ArchivedSnapshots is how many persisted encoder snapshots the
+	// DACCE replay archived and rehydrated (mid-trace checkpoints plus
+	// the final state); ArchiveQueries counts the query points
+	// re-decoded through them. Both are 0 when Spec.SnapshotEvery is 0.
+	ArchivedSnapshots int                       `json:"archived_snapshots,omitempty"`
+	ArchiveQueries    int                       `json:"archive_queries,omitempty"`
+	Encoders          map[string]*EncoderReport `json:"encoders"`
+	Divergences       []Divergence              `json:"divergences,omitempty"`
 	// Dropped counts divergences beyond Options.MaxDivergences that
 	// were counted but not recorded in detail.
 	Dropped       int   `json:"dropped_divergences,omitempty"`
@@ -191,10 +198,12 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 	var cs *cct.Scheme
 	var sw *stackwalk.Scheme
 	var pc *pcc.Scheme
+	var archive *Archive
 	switch name {
 	case "dacce":
 		d = core.New(rp, aggressiveOptions(opt.Sink))
 		sch = ForceEpochs(d, spec.ForceEpochEvery)
+		sch, archive = SnapshotArchive(sch, d, spec.SnapshotEvery)
 		if spec.Mutation != "" {
 			sch = Mutate(sch, Mutation(spec.Mutation))
 		}
@@ -322,6 +331,18 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 	switch name {
 	case "dacce":
 		res.Epochs = d.Epoch()
+		if archive != nil {
+			final, err := persist.Marshal(d.ExportState())
+			if err != nil {
+				return fmt.Errorf("difftest: exporting final state: %w", err)
+			}
+			snaps, queries, err := checkArchive(archive, final, rs.Samples, spawnShadow, report)
+			if err != nil {
+				return err
+			}
+			res.ArchivedSnapshots = snaps
+			res.ArchiveQueries = queries
+		}
 	case "pcc":
 		res.PCCCollisions, res.PCCDistinct = pc.Collisions()
 	}

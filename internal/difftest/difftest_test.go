@@ -238,3 +238,56 @@ func TestDiffFlightRecorderDump(t *testing.T) {
 		t.Errorf("dump missing frame header:\n%.400s", out)
 	}
 }
+
+// TestDiffArchiveCoverage pins the persistence leg of the oracle: with
+// SnapshotEvery set, the DACCE replay checkpoints its persisted state
+// mid-trace, and every checkpoint — rehydrated as a standalone decoder,
+// exactly like a dacced tenant — re-decodes the closed-epoch query
+// points with zero divergences. The final-state blob re-decodes every
+// query point.
+func TestDiffArchiveCoverage(t *testing.T) {
+	archived, queries := 0, 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		spec := difftest.RandomSpec(seed)
+		spec.Encoders = []string{"dacce"}
+		res, err := difftest.Run(spec, difftest.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Diverged() {
+			for _, d := range res.Divergences {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+			t.Fatalf("seed %d diverged through archived snapshots", seed)
+		}
+		if res.ArchivedSnapshots < 1 {
+			t.Errorf("seed %d: no snapshots archived (SnapshotEvery=%d)", seed, spec.SnapshotEvery)
+		}
+		archived += res.ArchivedSnapshots
+		queries += res.ArchiveQueries
+	}
+	// Across the sweep some replays must checkpoint mid-trace (beyond
+	// the always-present final blob) and re-decode real query points.
+	if archived < 8 {
+		t.Errorf("only %d snapshots archived across 6 seeds; mid-trace checkpoints are not happening", archived)
+	}
+	if queries == 0 {
+		t.Error("archived decoders answered no queries")
+	}
+}
+
+// TestDiffArchiveOff checks the knob's zero value: no archiving, no
+// archive counters.
+func TestDiffArchiveOff(t *testing.T) {
+	spec := difftest.RandomSpec(3)
+	spec.SnapshotEvery = 0
+	spec.Encoders = []string{"dacce"}
+	res, err := difftest.Run(spec, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArchivedSnapshots != 0 || res.ArchiveQueries != 0 {
+		t.Fatalf("SnapshotEvery=0 still archived %d snapshots / %d queries",
+			res.ArchivedSnapshots, res.ArchiveQueries)
+	}
+}

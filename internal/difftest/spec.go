@@ -48,6 +48,13 @@ type Spec struct {
 	// sides of epoch boundaries. 0 leaves re-encoding to the adaptive
 	// triggers alone.
 	ForceEpochEvery int64 `json:"force_epoch_every,omitempty"`
+	// SnapshotEvery archives the DACCE encoder's persisted snapshot
+	// (persist.Marshal of the full state) after every n-th query,
+	// counted across threads; after the replay each archived blob is
+	// rehydrated into a standalone decoder and the query points whose
+	// epochs were closed at archive time are re-decoded against the
+	// oracle. 0 disables mid-trace archiving.
+	SnapshotEvery int64 `json:"snapshot_every,omitempty"`
 	// MaxEvents truncates each thread's recorded event stream before
 	// replay; 0 keeps everything. The shrinker halves this to cut a
 	// reproducer's trace without touching the workload.
@@ -105,6 +112,7 @@ func RandomSpec(seed uint64) Spec {
 		Profile:         pr,
 		SampleEvery:     3 + int64(h(5)%11),
 		ForceEpochEvery: 16 + int64(h(6)%48),
+		SnapshotEvery:   8 + int64(h(7)%32),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"dacce/internal/core"
 	"dacce/internal/graph"
 	"dacce/internal/machine"
+	"dacce/internal/persist"
 	"dacce/internal/prog"
 	"dacce/internal/workload"
 )
@@ -35,6 +36,14 @@ type SteadyConfig struct {
 	// periodic maintenance check, per-sample capture allocation), and
 	// reports the lock-free/serialized throughput ratio.
 	Compare bool
+	// LoadState warm-starts the lock-free encoder from this snapshot
+	// instead of a cold start, so even the "warmup" phase runs on the
+	// persisted encoding (expect zero handler traps). SaveState writes
+	// the warmed encoder's snapshot after the steady run. Because each
+	// thread count generates its own program, both require a single
+	// entry in Threads.
+	LoadState string `json:"load_state,omitempty"`
+	SaveState string `json:"save_state,omitempty"`
 }
 
 func (c *SteadyConfig) fill() {
@@ -216,6 +225,9 @@ func (o *oldSampler) onSample(capture any) {
 // SteadyState runs the scalability suite and returns the report.
 func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 	cfg.fill()
+	if (cfg.LoadState != "" || cfg.SaveState != "") && len(cfg.Threads) != 1 {
+		return nil, fmt.Errorf("steady: -save-state/-load-state need a single -threads value (each thread count generates its own program), got %v", cfg.Threads)
+	}
 	rep := &SteadyReport{
 		Config:     cfg,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -264,10 +276,19 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 			return &row, nil
 		}
 
-		// Lock-free build: warm-up on a fresh encoder, then a steady run
-		// reusing it (Install re-traps every site; the warmed graph
-		// re-patches them on first touch without new discoveries).
-		d := core.New(w.P, core.Options{})
+		// Lock-free build: warm-up on a fresh encoder (or one restored
+		// from a snapshot), then a steady run reusing it (Install
+		// re-traps every site; the warmed graph re-patches them on first
+		// touch without new discoveries).
+		var d *core.DACCE
+		if cfg.LoadState != "" {
+			d, err = persist.WarmStart(cfg.LoadState, w.P, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			d = core.New(w.P, core.Options{})
+		}
 		if _, err := run("lockfree", d, d, "warmup"); err != nil {
 			return nil, err
 		}
@@ -276,6 +297,11 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 			return nil, err
 		}
 		steadyRate[n] = steady.CallsPerSec
+		if cfg.SaveState != "" {
+			if err := persist.SaveEncoder(cfg.SaveState, d); err != nil {
+				return nil, err
+			}
+		}
 
 		if cfg.Compare {
 			ds := core.New(w.P, core.Options{})

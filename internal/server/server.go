@@ -1,0 +1,461 @@
+// Package server implements dacced's decode-as-a-service core: a
+// multi-tenant registry of persisted encoder states and an HTTP/JSON
+// API that resolves captured contexts against them. Each tenant is one
+// snapshot — keyed by program name plus content hash, so multiple
+// encodings of the same program coexist and a client can pin the exact
+// state its captures were taken under. Decodes run on the snapshot's
+// immutable per-epoch indexes, so any number of requests decode
+// concurrently; per-tenant concurrency caps with a bounded wait queue
+// turn overload into fast 429s instead of collapse.
+//
+// Endpoints:
+//
+//	GET  /healthz                   liveness + tenant count
+//	POST /v1/decode                 batched decode: {tenant, captures[]}
+//	GET  /v1/snapshot?tenant=NAME   download the tenant's raw snapshot
+//	POST /v1/snapshot?tenant=NAME   register a snapshot (body = bytes)
+//	GET  /v1/stats                  build info + per-tenant statistics
+//	GET  /metrics                   Prometheus metrics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dacce/internal/buildinfo"
+	"dacce/internal/core"
+	"dacce/internal/persist"
+	"dacce/internal/prog"
+	"dacce/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxConcurrent caps in-flight decode requests per tenant
+	// (default 4).
+	MaxConcurrent int
+	// QueueDepth bounds how many requests may wait for a slot per
+	// tenant; the queue full, further requests get 429 (default 64).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Registry receives the server's metrics; a private registry is
+	// created when nil, so /metrics always serves.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+}
+
+// tenant is one registered snapshot and its admission state.
+type tenant struct {
+	name string
+	hash string
+	key  string
+
+	dec *core.Decoder
+	st  *core.EncoderState
+	raw []byte
+
+	// slots is the concurrency cap: a request holds one slot for the
+	// duration of its decode work.
+	slots chan struct{}
+	// queued counts requests waiting for a slot; bounded by QueueDepth.
+	queued atomic.Int64
+
+	requests atomic.Int64
+	decoded  atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+}
+
+// Server is the decode service. Create with New, serve via Handler.
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant // key: "name@hash"
+	latest  map[string]string  // name → most recently registered key
+
+	inflight atomic.Int64
+	mux      *http.ServeMux
+
+	mRequests func(endpoint, code string) *telemetry.Counter
+	mLatency  *telemetry.Histogram
+	mDecoded  *telemetry.Counter
+	mErrors   *telemetry.Counter
+	mRejected *telemetry.Counter
+	mInflight *telemetry.Gauge
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		tenants: map[string]*tenant{},
+		latest:  map[string]string{},
+	}
+	reg := cfg.Registry
+	reg.Help("dacced_requests_total", "HTTP requests by endpoint and status code")
+	reg.Help("dacced_decode_latency_us", "Batched decode request latency (µs)")
+	reg.Help("dacced_contexts_decoded_total", "Captures successfully decoded")
+	reg.Help("dacced_decode_errors_total", "Captures that failed to decode")
+	reg.Help("dacced_rejected_total", "Requests rejected by backpressure (429)")
+	reg.Help("dacced_inflight", "Decode requests currently holding a slot")
+	reg.Help("dacced_queue_depth", "Requests waiting for a tenant slot")
+	s.mRequests = func(endpoint, code string) *telemetry.Counter {
+		return reg.Counter("dacced_requests_total", "endpoint", endpoint, "code", code)
+	}
+	s.mLatency = reg.Histogram("dacced_decode_latency_us", telemetry.ExpBuckets(10, 4, 10))
+	s.mDecoded = reg.Counter("dacced_contexts_decoded_total")
+	s.mErrors = reg.Counter("dacced_decode_errors_total")
+	s.mRejected = reg.Counter("dacced_rejected_total")
+	s.mInflight = reg.Gauge("dacced_inflight")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/decode", s.handleDecode)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register installs a snapshot under the given program name and returns
+// the tenant's content hash. Registering the same bytes twice is
+// idempotent; a different snapshot under the same name becomes the
+// name's new default while the old one stays addressable as name@hash.
+func (s *Server) Register(name string, data []byte) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("server: tenant name must not be empty")
+	}
+	st, err := persist.Unmarshal(data)
+	if err != nil {
+		return "", err
+	}
+	dec, err := st.NewDecoder()
+	if err != nil {
+		return "", err
+	}
+	hash := persist.Hash(data)
+	t := &tenant{
+		name:  name,
+		hash:  hash,
+		key:   name + "@" + hash,
+		dec:   dec,
+		st:    st,
+		raw:   data,
+		slots: make(chan struct{}, s.cfg.MaxConcurrent),
+	}
+	s.mu.Lock()
+	s.tenants[t.key] = t
+	s.latest[name] = t.key
+	s.mu.Unlock()
+	return hash, nil
+}
+
+// Tenants returns the registered tenant keys, sorted.
+func (s *Server) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.tenants))
+	for k := range s.tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// resolve finds a tenant by exact "name@hash" key or bare name (the
+// name's most recently registered snapshot).
+func (s *Server) resolve(ref string) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t, ok := s.tenants[ref]; ok {
+		return t
+	}
+	if key, ok := s.latest[ref]; ok {
+		return s.tenants[key]
+	}
+	return nil
+}
+
+// acquire admits a request into the tenant's decode slots: immediately
+// when a slot is free, after a bounded wait while the queue has room,
+// not at all (429) when the queue is full or the client went away.
+func (s *Server) acquire(r *http.Request, t *tenant) bool {
+	select {
+	case t.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if t.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		t.queued.Add(-1)
+		return false
+	}
+	defer t.queued.Add(-1)
+	select {
+	case t.slots <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) release(t *tenant) { <-t.slots }
+
+// --- wire types ---
+
+// DecodeRequest is the /v1/decode request body. Captures use the same
+// JSON shape daccerun -dump writes (core.Capture's field names), so a
+// captures.json can be posted as-is.
+type DecodeRequest struct {
+	// Tenant is a program name or name@hash key.
+	Tenant string `json:"tenant"`
+	// Captures are the contexts to decode, in order.
+	Captures []*core.Capture `json:"captures"`
+}
+
+// Frame is one decoded calling-context frame, root first.
+type Frame struct {
+	Site prog.SiteID `json:"site"`
+	Fn   prog.FuncID `json:"fn"`
+	Name string      `json:"name"`
+}
+
+// DecodeResult is one capture's outcome: frames or an error.
+type DecodeResult struct {
+	Frames []Frame `json:"frames,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// DecodeResponse is the /v1/decode response body. Results are parallel
+// to the request's captures.
+type DecodeResponse struct {
+	Tenant  string         `json:"tenant"`
+	Hash    string         `json:"hash"`
+	Results []DecodeResult `json:"results"`
+}
+
+// SnapshotInfo is the POST /v1/snapshot response body.
+type SnapshotInfo struct {
+	Tenant string `json:"tenant"`
+	Hash   string `json:"hash"`
+	Epochs int    `json:"epochs"`
+	Funcs  int    `json:"funcs"`
+	Edges  int    `json:"edges"`
+	MaxID  uint64 `json:"max_id"`
+}
+
+// TenantStats is one tenant's entry in /v1/stats.
+type TenantStats struct {
+	Name      string `json:"name"`
+	Hash      string `json:"hash"`
+	Epochs    int    `json:"epochs"`
+	Funcs     int    `json:"funcs"`
+	Edges     int    `json:"edges"`
+	MaxID     uint64 `json:"max_id"`
+	Requests  int64  `json:"requests"`
+	Decoded   int64  `json:"decoded"`
+	Errors    int64  `json:"errors"`
+	Rejected  int64  `json:"rejected"`
+	Queued    int64  `json:"queued"`
+	SnapBytes int    `json:"snapshot_bytes"`
+}
+
+// Stats is the /v1/stats response body.
+type Stats struct {
+	Build    buildinfo.Info `json:"build"`
+	Inflight int64          `json:"inflight"`
+	Tenants  []TenantStats  `json:"tenants"`
+}
+
+// --- handlers ---
+
+func (s *Server) count(endpoint string, code int) {
+	s.mRequests(endpoint, strconv.Itoa(code)).Inc()
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	s.count(endpoint, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, code int, format string, args ...any) {
+	s.writeJSON(w, endpoint, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.tenants)
+	s.mu.RUnlock()
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{"status": "ok", "tenants": n})
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	const ep = "decode"
+	if r.Method != http.MethodPost {
+		s.writeError(w, ep, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DecodeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	t := s.resolve(req.Tenant)
+	if t == nil {
+		s.writeError(w, ep, http.StatusNotFound, "unknown tenant %q", req.Tenant)
+		return
+	}
+	if !s.acquire(r, t) {
+		t.rejected.Add(1)
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, ep, http.StatusTooManyRequests, "tenant %s at capacity", t.key)
+		return
+	}
+	defer s.release(t)
+	s.inflight.Add(1)
+	s.mInflight.Set(s.inflight.Load())
+	defer func() {
+		s.inflight.Add(-1)
+		s.mInflight.Set(s.inflight.Load())
+	}()
+
+	start := time.Now()
+	t.requests.Add(1)
+	resp := DecodeResponse{
+		Tenant:  t.name,
+		Hash:    t.hash,
+		Results: make([]DecodeResult, 0, len(req.Captures)),
+	}
+	for _, c := range req.Captures {
+		var res DecodeResult
+		if c == nil {
+			res.Error = "null capture"
+		} else if ctx, err := t.dec.Decode(c); err != nil {
+			res.Error = err.Error()
+		} else {
+			res.Frames = make([]Frame, 0, len(ctx))
+			for _, f := range ctx {
+				res.Frames = append(res.Frames, Frame{
+					Site: f.Site, Fn: f.Fn, Name: t.dec.P.Funcs[f.Fn].Name,
+				})
+			}
+		}
+		if res.Error != "" {
+			t.errors.Add(1)
+			s.mErrors.Inc()
+		} else {
+			t.decoded.Add(1)
+			s.mDecoded.Inc()
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	s.mLatency.Observe(time.Since(start).Microseconds())
+	s.writeJSON(w, ep, http.StatusOK, &resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	const ep = "snapshot"
+	name := r.URL.Query().Get("tenant")
+	switch r.Method {
+	case http.MethodGet:
+		t := s.resolve(name)
+		if t == nil {
+			s.writeError(w, ep, http.StatusNotFound, "unknown tenant %q", name)
+			return
+		}
+		s.count(ep, http.StatusOK)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Dacce-State-Hash", t.hash)
+		_, _ = w.Write(t.raw)
+	case http.MethodPost, http.MethodPut:
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.writeError(w, ep, http.StatusBadRequest, "reading snapshot: %v", err)
+			return
+		}
+		hash, err := s.Register(name, data)
+		if err != nil {
+			s.writeError(w, ep, http.StatusBadRequest, "registering snapshot: %v", err)
+			return
+		}
+		t := s.resolve(name + "@" + hash)
+		s.writeJSON(w, ep, http.StatusOK, SnapshotInfo{
+			Tenant: name, Hash: hash,
+			Epochs: len(t.st.Epochs), Funcs: len(t.st.Funcs),
+			Edges: len(t.st.Edges), MaxID: t.st.Epochs[len(t.st.Epochs)-1].MaxID,
+		})
+	default:
+		s.writeError(w, ep, http.StatusMethodNotAllowed, "GET, POST or PUT required")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{Build: buildinfo.Get(), Inflight: s.inflight.Load()}
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.tenants))
+	for k := range s.tenants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		t := s.tenants[key]
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:      t.name,
+			Hash:      t.hash,
+			Epochs:    len(t.st.Epochs),
+			Funcs:     len(t.st.Funcs),
+			Edges:     len(t.st.Edges),
+			MaxID:     t.st.Epochs[len(t.st.Epochs)-1].MaxID,
+			Requests:  t.requests.Load(),
+			Decoded:   t.decoded.Load(),
+			Errors:    t.errors.Load(),
+			Rejected:  t.rejected.Load(),
+			Queued:    t.queued.Load(),
+			SnapBytes: len(t.raw),
+		})
+	}
+	s.mu.RUnlock()
+	s.writeJSON(w, "stats", http.StatusOK, &st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh queue-depth gauges at scrape time.
+	s.mu.RLock()
+	for _, t := range s.tenants {
+		s.cfg.Registry.Gauge("dacced_queue_depth", "tenant", t.name).Set(t.queued.Load())
+	}
+	s.mu.RUnlock()
+	s.count("metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Registry.WritePrometheus(w)
+}
