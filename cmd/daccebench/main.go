@@ -5,6 +5,7 @@
 //	daccebench fig9   [-calls N] [-bench ...]         Figure 9 progress series
 //	daccebench fig10  [-calls N] [-bench ...]         Figure 10 depth CDFs
 //	daccebench steady [-threads 1,2,4,8] [-compare]   steady-state scalability suite
+//	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
 //	daccebench all    [-calls N]                      everything
 //
 // Every subcommand accepts -cpuprofile/-memprofile (pprof output) and
@@ -52,7 +53,8 @@ func run() int {
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := fs.String("bench-json", "", "write machine-readable results (JSON) to this file")
 	threadsFlag := fs.String("threads", "", "steady: comma-separated thread counts (default 1,2,4,8)")
-	compare := fs.Bool("compare", false, "steady: also run the mutex-serialized comparison build and report speedups")
+	compare := fs.Bool("compare", false, "steady/warmup: also run the mutex-serialized comparison build and report speedups")
+	noReplay := fs.Bool("no-replay", false, "warmup: skip the warm-start replay rows")
 	_ = fs.Parse(os.Args[2:])
 
 	if *version || cmd == "-version" || cmd == "version" {
@@ -136,6 +138,8 @@ func run() int {
 		err = runReport(out, cfg)
 	case "steady":
 		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON, state)
+	case "warmup":
+		err = runWarmup(*threadsFlag, *calls, *sample, *compare, *noReplay, *benchJSON)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -217,8 +221,70 @@ func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare boo
 	return nil
 }
 
+// runWarmup drives the cold-start scalability suite and renders a
+// summary table; -bench-json additionally writes the full report in the
+// BENCH_warmup.json format.
+func runWarmup(threadsCSV string, callsPerThread, sampleEvery int64, compare, noReplay bool, jsonOut string) error {
+	cfg := experiments.WarmupConfig{
+		CallsPerThread: callsPerThread,
+		Compare:        compare,
+		NoReplay:       noReplay,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// warmup suite has its own default (64).
+	if sampleEvery != 256 {
+		cfg.SampleEvery = sampleEvery
+	}
+	if threadsCSV != "" {
+		for _, part := range strings.Split(threadsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -threads value %q", part)
+			}
+			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+	rep, err := experiments.Warmup(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Cold-start scalability (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
+	fmt.Printf("%-8s %-8s %-7s %12s %8s %7s %7s %12s %14s\n",
+		"threads", "mode", "phase", "traps/s", "traps", "edges", "passes", "stable-ms", "calls/s")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8d %-8s %-7s %12.0f %8d %7d %7d %12.2f %14.0f\n",
+			r.Threads, r.Mode, r.Phase, r.TrapsPerSec, r.HandlerTraps, r.EdgesDiscovered,
+			r.Passes, r.TimeToStableMs, r.CallsPerSec)
+	}
+	for _, n := range rep.Config.Threads {
+		k := fmt.Sprint(n)
+		var parts []string
+		if sp, ok := rep.TrapSpeedup[k]; ok {
+			parts = append(parts, fmt.Sprintf("trap-speedup-vs-global=%.2fx", sp))
+		}
+		if tr, ok := rep.ReplayTraps[k]; ok {
+			parts = append(parts, fmt.Sprintf("replay-traps=%d", tr))
+		}
+		if len(parts) > 0 {
+			fmt.Printf("threads=%s %s\n", k, strings.Join(parts, " "))
+		}
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "warmup report written to", jsonOut)
+	}
+	return nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

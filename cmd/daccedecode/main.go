@@ -14,14 +14,12 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dacce/internal/ccprof"
 	"dacce/internal/cliutil"
@@ -29,8 +27,12 @@ import (
 	"dacce/internal/server"
 )
 
-// remoteBatch bounds how many captures each /v1/decode request carries.
-const remoteBatch = 512
+// remoteBatch bounds how many captures each /v1/decode request carries;
+// remoteTimeout bounds each request attempt.
+const (
+	remoteBatch   = 512
+	remoteTimeout = 30 * time.Second
+)
 
 func main() {
 	dir := flag.String("dir", "", "directory holding bundle.json and captures.json")
@@ -137,35 +139,19 @@ func run(dir string, n int, tree bool, remote, tenant string) error {
 
 // runRemote posts the captures to a dacced server in batches and prints
 // the same per-capture lines the in-process path does, frame names
-// taken from the server's response.
+// taken from the server's response. The client bounds each request with
+// a timeout and retries transient failures, honoring the server's
+// Retry-After back-pressure, so a dead or briefly saturated dacced does
+// not hang or hard-fail the CLI.
 func runRemote(base, tenant string, captures []*core.Capture) error {
-	url := base + "/v1/decode"
+	c := &server.Client{BaseURL: base, Timeout: remoteTimeout}
 	fmt.Printf("remote: %s tenant %s; decoding %d captures\n\n", base, tenant, len(captures))
 	failures := 0
 	for off := 0; off < len(captures); off += remoteBatch {
 		batch := captures[off:min(off+remoteBatch, len(captures))]
-		body, err := json.Marshal(server.DecodeRequest{Tenant: tenant, Captures: batch})
+		dr, err := c.Decode(&server.DecodeRequest{Tenant: tenant, Captures: batch})
 		if err != nil {
 			return err
-		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
-		}
-		var dr server.DecodeResponse
-		if err := json.Unmarshal(data, &dr); err != nil {
-			return fmt.Errorf("bad response from %s: %w", url, err)
-		}
-		if len(dr.Results) != len(batch) {
-			return fmt.Errorf("%s returned %d results for %d captures", url, len(dr.Results), len(batch))
 		}
 		for j, res := range dr.Results {
 			i, c := off+j, batch[j]

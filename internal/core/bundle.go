@@ -69,10 +69,12 @@ type BundleCode struct {
 func (d *DACCE) ExportBundle() *Bundle {
 	// The dictionaries come from the published snapshot (immutable); the
 	// mutex still covers the graph-edge iteration, which may race with
-	// the handler's AddEdge otherwise.
+	// the handler's registration flushes otherwise. Draining first pulls
+	// in edges still sitting in per-thread publication buffers.
 	snap := d.cur()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainAllLocked()
 	b := &Bundle{Entry: d.p.Entry}
 	for _, f := range d.p.Funcs {
 		b.Funcs = append(b.Funcs, BundleFunc{ID: f.ID, Name: f.Name})

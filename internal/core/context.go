@@ -10,7 +10,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"dacce/internal/graph"
 	"dacce/internal/prog"
 )
 
@@ -43,11 +45,29 @@ func (e CCEntry) String() string {
 // tls is the per-thread encoder state the paper keeps in thread-local
 // storage (§5.3): the context identifier and the ccStack, plus the
 // thread's reusable decode scratch for the sampling controller's
-// lock-free heat-estimation decode.
+// lock-free heat-estimation decode, and the thread's edge publication
+// buffer.
 type tls struct {
 	id      uint64
 	cc      []CCEntry
 	scratch decodeScratch
+
+	// disc is this thread's edge publication buffer. The owner appends
+	// under its mutex and flushes a full batch itself; drainAllLocked
+	// empties every buffer before any pass, export or registry read.
+	disc *discBuf
+}
+
+// discBuf is one thread's edge publication buffer. DACCE registers
+// every buffer it hands out in its own d.mu-guarded list, so mid-run
+// drains iterate that list and never read another thread's State field
+// (which the spawning goroutine writes with no synchronization the
+// drainer could order against). The buffer's own mutex — never held
+// together with anything but d.mu on the draining side — keeps mid-run
+// exports safe without stopping the world.
+type discBuf struct {
+	mu    sync.Mutex
+	edges []*graph.Edge
 }
 
 // Capture is an immutable snapshot of a thread's context encoding,

@@ -82,6 +82,13 @@ type Options struct {
 	// triggers still re-encode fully, so frequency reordering keeps
 	// happening.
 	Incremental bool
+	// SerializedDiscovery routes every handler trap through the global
+	// scheme mutex — the pre-sharding discipline, kept as the baseline
+	// the warmup suite compares the sharded cold-start path against
+	// (and as an A/B debugging aid). Off by default: discovery uses
+	// per-shard locks and per-thread publication buffers, and
+	// concurrent trigger firings coalesce into one re-encoding pass.
+	SerializedDiscovery bool
 	// TrackProgress records a Fig. 9-style progress point every
 	// ProgressEvery samples.
 	TrackProgress bool
@@ -135,14 +142,45 @@ type DACCE struct {
 	// lock-free; stores happen under mu.
 	snap atomic.Pointer[encSnap]
 
-	// mu guards the graph, stub rebuilding, snapshot publication and
-	// the discovery state below. Stubs on the fast path never take it;
-	// the runtime handler takes it exactly once per trap in the steady
-	// state.
+	// mu guards the graph registry (NodeSeq/Edges/adjacency),
+	// snapshot publication and the discovery state below. Stubs on the
+	// fast path never take it, and since discovery went sharded the
+	// runtime handler does not either: a trap touches only its site's
+	// graph shard and rebuild shard, and publishes the new edge through
+	// the thread's buffer, which is batch-registered under one mu
+	// acquisition per discoveryBatch edges (or at the next pass/export,
+	// whichever drains first).
 	mu         sync.Mutex
 	g          *graph.Graph
-	pendingNew []*graph.Edge        // edges discovered since the last pass
-	hashed     map[prog.SiteID]bool // sites promoted to hash dispatch
+	pendingNew []*graph.Edge // edges registered since the last pass
+
+	// discBufs lists every thread's edge publication buffer, appended
+	// at ThreadStart. drainAllLocked iterates this registry — not the
+	// machine's thread list — because a spawning thread's State field
+	// is written with no synchronization a mid-run drainer could order
+	// against. Exited threads leave their (empty) buffer behind; the
+	// list is bounded by threads started over the encoder's life.
+	discBufs []*discBuf
+
+	// siteShards serialize concurrent stub rebuilds of the same call
+	// site (two threads discovering different targets of one indirect
+	// site) without any global lock; the shard also owns the
+	// hash-promotion dedup set for its sites. Lock order: mu →
+	// siteShard.mu → graph shard (never the reverse).
+	siteShards [siteShardCount]siteShard
+
+	// reencodeGate admits one thread at a time into the re-encoding
+	// slow path: concurrent trigger firings — the cold-start norm, when
+	// every thread's counters cross the threshold together — coalesce
+	// into a single stop-the-world pass instead of a convoy of stoppers
+	// each paying a world-stop to discover the winner already reset the
+	// counters. Bypassed by ForceReencode and by SerializedDiscovery
+	// (which models the old convoy faithfully).
+	reencodeGate atomic.Bool
+
+	// edgesDiscovered counts first invocations seen by the handler;
+	// atomic because sharded traps bump it without mu.
+	edgesDiscovered atomic.Int64
 
 	// sink receives telemetry events; nil disables emission (the fast
 	// path — each emission site is one predictable branch).
@@ -188,11 +226,13 @@ func New(p *prog.Program, opt Options) *DACCE {
 	}
 	opt.Trig.fill()
 	d := &DACCE{
-		opt:    opt,
-		p:      p,
-		g:      graph.New(p),
-		hashed: make(map[prog.SiteID]bool),
-		sink:   opt.Sink,
+		opt:  opt,
+		p:    p,
+		g:    graph.New(p),
+		sink: opt.Sink,
+	}
+	for i := range d.siteShards {
+		d.siteShards[i].hashed = make(map[prog.SiteID]bool)
 	}
 	d.epi = &epiStub{d: d}
 	d.trap = &trapStub{d: d}
@@ -222,7 +262,14 @@ func New(p *prog.Program, opt Options) *DACCE {
 func (d *DACCE) Name() string { return "dacce" }
 
 // Graph returns the dynamic call graph (stable after the run ends).
-func (d *DACCE) Graph() *graph.Graph { return d.g }
+// Edges still sitting in per-thread publication buffers are registered
+// first, so the registry view is complete as of the call.
+func (d *DACCE) Graph() *graph.Graph {
+	d.mu.Lock()
+	d.drainAllLocked()
+	d.mu.Unlock()
+	return d.g
+}
 
 // Epoch returns the current gTimeStamp. Lock-free.
 func (d *DACCE) Epoch() uint32 { return d.cur().epoch }
@@ -261,17 +308,33 @@ func (d *DACCE) Install(m *machine.Machine) {
 // and record the spawning context so the new thread's full calling
 // context stays decodable.
 func (d *DACCE) ThreadStart(t, parent *machine.Thread) {
-	t.State = &tls{}
+	buf := &discBuf{}
+	t.State = &tls{disc: buf}
 	if parent != nil {
 		t.SpawnCapture = d.Capture(parent)
-		d.mu.Lock()
-		d.g.AddRoot(t.Entry())
-		d.mu.Unlock()
 	}
+	d.mu.Lock()
+	d.discBufs = append(d.discBufs, buf)
+	if parent != nil {
+		d.g.AddRoot(t.Entry())
+	}
+	d.mu.Unlock()
 }
 
-// ThreadExit implements machine.Scheme.
-func (d *DACCE) ThreadExit(t *machine.Thread) {}
+// ThreadExit implements machine.Scheme: register any edges still
+// sitting in the exiting thread's publication buffer — nobody will
+// flush it afterwards.
+func (d *DACCE) ThreadExit(t *machine.Thread) {
+	st, ok := t.State.(*tls)
+	if !ok || st == nil || st.disc == nil {
+		return
+	}
+	st.disc.mu.Lock()
+	batch := st.disc.edges
+	st.disc.edges = nil
+	st.disc.mu.Unlock()
+	d.flushBatch(batch)
+}
 
 // Capture implements machine.Scheme: snapshot (gTimeStamp, id, function,
 // ccStack). The snapshot object comes from a pool; callers that are
@@ -351,6 +414,7 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 	}
 	if d.opt.TrackProgress && n%d.opt.ProgressEvery == 0 {
 		d.mu.Lock()
+		d.drainAllLocked()
 		d.stats.Progress = append(d.stats.Progress, ProgressPoint{
 			Sample: n,
 			Nodes:  d.g.NumNodes(),
@@ -362,11 +426,11 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 	}
 
 	if c.ID > snap.maxID && d.hotMiss.Add(1) >= d.opt.Trig.HotMissSamples {
-		d.reencode(t)
+		d.maybeReencode(t)
 		return
 	}
 	if d.triggersFired() {
-		d.reencode(t)
+		d.maybeReencode(t)
 	}
 }
 
@@ -376,7 +440,7 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 // touched only when a trigger has actually fired and a pass will run.
 func (d *DACCE) Maintain(t *machine.Thread) {
 	if d.triggersFired() {
-		d.reencode(t)
+		d.maybeReencode(t)
 	}
 }
 
@@ -398,8 +462,10 @@ func (d *DACCE) newEdgeThreshold() int64 {
 func (d *DACCE) Stats() *Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.drainAllLocked()
 	snap := d.cur()
 	s := d.stats
+	s.EdgesDiscovered = int(d.edgesDiscovered.Load())
 	s.Nodes = d.g.NumNodes()
 	s.Edges = d.g.NumEdges()
 	s.MaxID = snap.maxID

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"dacce/internal/blenc"
@@ -22,6 +23,47 @@ func edgeKeyOf(e *graph.Edge) graph.EdgeKey {
 // from outside any thread.
 func (d *DACCE) reencode(self *machine.Thread) { d.reencodeIf(self, false) }
 
+// reencodeSettleRounds bounds the trigger-hysteresis hold-off: how many
+// scheduler yields the gate winner spends waiting for a concurrent
+// discovery burst to quiet down before stopping the world, so the pass
+// absorbs the whole burst instead of running again moments later.
+const reencodeSettleRounds = 8
+
+// maybeReencode is the trigger-firing entry point of the sharded path:
+// one CAS admits a single organizer, every concurrent firing returns
+// immediately (its trigger state persists, and the winner's pass will
+// either absorb it or leave the counters for the next check). The
+// winner then holds off briefly while new-edge discovery is still
+// advancing — cold-start bursts make all threads cross the threshold
+// together, and one slightly-later pass over the full burst costs far
+// less than a convoy of stop-the-world passes over its slices.
+func (d *DACCE) maybeReencode(self *machine.Thread) {
+	if d.opt.SerializedDiscovery {
+		d.reencode(self)
+		return
+	}
+	if !d.reencodeGate.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.reencodeGate.Store(false)
+	// Hold off while the burst is still advancing, but absorb at most
+	// one extra threshold's worth of discoveries: a yield hands whole
+	// scheduler quanta to the discovering threads, and an unbounded
+	// wait would starve the encoding (and the epoch cadence the
+	// adaptive controller is supposed to keep) of an entire cold start.
+	start := d.newEdges.Load()
+	last := start
+	for i := 0; i < reencodeSettleRounds; i++ {
+		runtime.Gosched()
+		cur := d.newEdges.Load()
+		if cur == last || cur-start >= d.newEdgeThreshold() {
+			break
+		}
+		last = cur
+	}
+	d.reencode(self)
+}
+
 // ForceReencode triggers a re-encoding pass unconditionally. exec is
 // the currently executing thread when called from inside a function
 // body, or nil when the machine is idle (before or after a run).
@@ -37,6 +79,12 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+
+	// Register everything still sitting in per-thread publication
+	// buffers: the pass must see (and encode) every edge discovered
+	// before the world stopped, and pendingNew feeds the incremental
+	// refresh below.
+	d.drainAllLocked()
 
 	// Another thread may have completed a pass while we waited to
 	// become the stopper; its counter reset makes the triggers false.
@@ -118,7 +166,7 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 	}
 
 	// Publish the new epoch's snapshot before regenerating stubs: the
-	// rebuild below reads it (actionForLocked), and lock-free readers
+	// rebuild below reads it (actionFor), and lock-free readers
 	// flip to the new epoch in one atomic step. The world is stopped, so
 	// no machine thread observes the window between publication and the
 	// stub/TLS rewrite; external Decode callers see either epoch fully.
@@ -230,7 +278,7 @@ func (d *DACCE) translateThreadLocked(t *machine.Thread) {
 	markID := d.cur().maxID + 1
 	for i := 1; i < t.Depth(); i++ {
 		f := t.FrameAt(i)
-		act := d.actionForLocked(edgeRef{f.Site, f.Fn})
+		act := d.actionFor(edgeRef{f.Site, f.Fn})
 		ck := d.applyAction(nil, st, f.Site, f.Fn, act, markID)
 		if !f.Tail {
 			f.Cook = ck
@@ -250,9 +298,12 @@ func (d *DACCE) tailFixup(self *machine.Thread, fn prog.FuncID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
+	// A pending in-edge of fn would otherwise be invisible to the
+	// In-list walk below and miss its save-wrap rebuild.
+	d.drainAllLocked()
 	if n := d.g.Node(fn); n != nil {
 		for _, e := range n.In {
-			d.rebuildSiteLocked(e.Site)
+			d.rebuildSite(e.Site)
 		}
 	}
 	for _, t := range m.Threads() {

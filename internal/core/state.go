@@ -121,12 +121,18 @@ func (d *DACCE) ExportState() *EncoderState {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
+	// Register edges still sitting in per-thread publication buffers so
+	// the exported graph is complete as of the export — mid-run exports
+	// (snapshot archiving) rely on the per-buffer mutexes, not a world
+	// stop.
+	d.drainAllLocked()
+
 	st := &EncoderState{
 		Budget:          d.opt.Budget,
 		Epoch:           snap.epoch,
 		Backoff:         d.backoff.Load(),
 		GTS:             d.stats.GTS,
-		EdgesDiscovered: d.stats.EdgesDiscovered,
+		EdgesDiscovered: int(d.edgesDiscovered.Load()),
 		Entry:           d.p.Entry,
 	}
 	for _, f := range d.p.Funcs {
@@ -385,7 +391,7 @@ func Restore(p *prog.Program, opt Options, st *EncoderState) (*DACCE, error) {
 	d.mu.Lock()
 	d.g = g
 	d.stats.GTS = st.GTS
-	d.stats.EdgesDiscovered = st.EdgesDiscovered
+	d.edgesDiscovered.Store(int64(st.EdgesDiscovered))
 	d.edgeCount.Store(int64(g.NumEdges()))
 	d.backoff.Store(st.Backoff)
 	d.snap.Store(&encSnap{

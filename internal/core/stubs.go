@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"dacce/internal/graph"
 	"dacce/internal/machine"
 	"dacce/internal/prog"
 	"dacce/internal/telemetry"
@@ -221,39 +223,102 @@ func (ts *trapStub) Epilogue(t *machine.Thread, s *prog.Site, target prog.FuncID
 	ts.d.epi.Epilogue(t, s, target, c)
 }
 
+// discoveryBatch is how many discovered edges a thread's publication
+// buffer accumulates before the owner registers the whole batch under
+// one d.mu acquisition. Small enough that pendingNew never lags far
+// behind discovery, large enough that a cold-start burst amortizes the
+// global lock ~discoveryBatch-fold.
+const discoveryBatch = 32
+
 // trapApply is the runtime handler: add the invoked edge to the call
 // graph, patch the site, possibly fix up tail-containing callers and
 // trigger a re-encoding, then execute this invocation as an unencoded
 // call (Figs. 2b, 3b: push, id = maxID+1).
 //
-// The steady state — the edge is already known, no tail-containing
-// caller was just discovered, no adaptive trigger has fired — takes
-// d.mu exactly once, covering both the edge bookkeeping and the
-// unencoded-call application. Only the rare slow path (tail fix-up or
-// re-encoding, both of which stop the world and take d.mu themselves)
-// releases the lock in between; the call must then be applied after the
-// pass, because the stop-the-world translation replays only the shadow
-// stack, which does not yet include this in-flight frame.
+// The sharded path never takes d.mu on its own behalf: edge existence
+// lives in the site's graph shard, the stub rebuild serializes per
+// site-shard, and the new edge is published through the thread's buffer
+// (batch-registered under one d.mu acquisition per discoveryBatch
+// edges). The unencoded-call application is entirely lock-free — safe
+// because a thread inside the handler is not at a safepoint, so no
+// stop-the-world pass (and therefore no snapshot unpublication or state
+// translation) can complete while the trap is in flight; every d.cur()
+// read below sees one stable epoch unless this trap runs a pass itself,
+// in which case it re-reads afterwards.
 func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	if d.opt.SerializedDiscovery {
+		return d.trapApplySerialized(t, s, target)
+	}
+	t.C.HandlerTraps++
+	t.C.InstrCost += machine.CostHandlerTrap
+
+	epoch := d.cur().epoch
+	tailFix := prog.NoFunc
+	e, isNew := d.g.DiscoverEdge(s.ID, target)
+	atomic.AddInt64(&e.Freq, 1)
+	edgesDiscovered := d.edgesDiscovered.Load()
+	if isNew {
+		edgesDiscovered = d.edgesDiscovered.Add(1)
+		d.newEdges.Add(1)
+		d.edgeCount.Add(1)
+		if s.Kind.IsTail() && !d.cur().tail[s.Caller] {
+			// Tail-set publication is a snapshot swap, so it stays under
+			// d.mu (rare: once per tail-containing caller).
+			d.mu.Lock()
+			if snap := d.cur(); !snap.tail[s.Caller] {
+				d.snap.Store(snap.withTailLocked(s.Caller))
+				tailFix = s.Caller
+			}
+			d.mu.Unlock()
+		}
+		d.rebuildSite(s.ID)
+		d.publishDiscovery(t, e)
+	}
+	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
+
+	if tailFix != prog.NoFunc {
+		d.tailFixup(t, tailFix)
+	}
+	if d.triggersFired() {
+		d.maybeReencode(t)
+	}
+
+	// Execute this invocation as an unencoded call against the newest
+	// published state (re-read after any pass above; the translation
+	// replays only the shadow stack, which does not yet include this
+	// in-flight frame).
+	snap := d.cur()
+	st := t.State.(*tls)
+	save := snap.tail[target] && !s.Kind.IsTail()
+	ck := d.applyAction(t, st, s.ID, target,
+		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+	return ck, d.epi
+}
+
+// trapApplySerialized is the pre-sharding handler, kept verbatim as the
+// Options.SerializedDiscovery baseline: every trap funnels through
+// d.mu, and every trigger firing marches into the stop-the-world pass
+// itself (the convoy the sharded path's gate coalesces).
+func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
 	t.C.HandlerTraps++
 	t.C.InstrCost += machine.CostHandlerTrap
 
 	tailFix := prog.NoFunc
 	d.mu.Lock()
+	epoch := d.cur().epoch
 	e, isNew := d.g.AddEdge(s.ID, target)
 	atomic.AddInt64(&e.Freq, 1)
-	edgesDiscovered := d.stats.EdgesDiscovered
+	edgesDiscovered := d.edgesDiscovered.Load()
 	if isNew {
 		d.newEdges.Add(1)
 		d.edgeCount.Add(1)
 		d.pendingNew = append(d.pendingNew, e)
-		d.stats.EdgesDiscovered++
-		edgesDiscovered++
+		edgesDiscovered = d.edgesDiscovered.Add(1)
 		if snap := d.cur(); s.Kind.IsTail() && !snap.tail[s.Caller] {
 			d.snap.Store(snap.withTailLocked(s.Caller))
 			tailFix = s.Caller
 		}
-		d.rebuildSiteLocked(s.ID)
+		d.rebuildSite(s.ID)
 	}
 
 	if tailFix == prog.NoFunc && !d.triggersFired() {
@@ -265,11 +330,11 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 		ck := d.applyAction(t, st, s.ID, target,
 			edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
 		d.mu.Unlock()
-		d.emitTrap(t, s, target, isNew, edgesDiscovered)
+		d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
 		return ck, d.epi
 	}
 	d.mu.Unlock()
-	d.emitTrap(t, s, target, isNew, edgesDiscovered)
+	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
 
 	if tailFix != prog.NoFunc {
 		d.tailFixup(t, tailFix)
@@ -290,21 +355,72 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	return ck, d.epi
 }
 
+// publishDiscovery appends a newly discovered edge to the thread's
+// publication buffer and, when the buffer reaches discoveryBatch,
+// registers the whole batch with the graph registry under one d.mu
+// acquisition. The buffer mutex is never held across the flush, so the
+// locking order stays acyclic with drainAllLocked (d.mu → discMu).
+func (d *DACCE) publishDiscovery(t *machine.Thread, e *graph.Edge) {
+	buf := t.State.(*tls).disc
+	buf.mu.Lock()
+	buf.edges = append(buf.edges, e)
+	var batch []*graph.Edge
+	if len(buf.edges) >= discoveryBatch {
+		batch = buf.edges
+		buf.edges = nil
+	}
+	buf.mu.Unlock()
+	d.flushBatch(batch)
+}
+
+// flushBatch registers a drained publication batch under d.mu. No-op
+// for empty batches.
+func (d *DACCE) flushBatch(batch []*graph.Edge) {
+	if len(batch) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.g.RegisterEdges(batch)
+	d.pendingNew = append(d.pendingNew, batch...)
+	d.mu.Unlock()
+}
+
+// drainAllLocked empties every thread's publication buffer into the
+// graph registry and pendingNew. Caller holds d.mu, which also guards
+// the d.discBufs registry the iteration walks. Every pass, export and
+// registry-reading accessor drains first, so the registered view is
+// complete whenever anything deterministic is derived from it;
+// per-buffer mutexes (not a world stop) make this safe mid-run, which
+// the differential harness's mid-trace snapshot archiving relies on.
+func (d *DACCE) drainAllLocked() {
+	for _, buf := range d.discBufs {
+		buf.mu.Lock()
+		batch := buf.edges
+		buf.edges = nil
+		buf.mu.Unlock()
+		if len(batch) > 0 {
+			d.g.RegisterEdges(batch)
+			d.pendingNew = append(d.pendingNew, batch...)
+		}
+	}
+}
+
 // emitTrap emits the handler-trap (and, for new edges, edge-discovered)
-// telemetry outside d.mu.
-func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, isNew bool, edgesDiscovered int) {
+// telemetry. epoch is the gTimeStamp observed at trap entry — captured
+// before any lock release or pass, so a re-encoding racing the emission
+// cannot misattribute the trap to the epoch it did not run under.
+func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, isNew bool, edgesDiscovered int64, epoch uint32) {
 	if d.sink == nil {
 		return
 	}
-	ep := d.cur().epoch
 	d.sink.Emit(telemetry.Event{
 		Kind: telemetry.EvHandlerTrap, Thread: int32(t.ID()),
-		Epoch: ep, Site: s.ID, Fn: target,
+		Epoch: epoch, Site: s.ID, Fn: target,
 	})
 	if isNew {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvEdgeDiscovered, Thread: int32(t.ID()),
-			Epoch: ep, Site: s.ID, Fn: target,
+			Epoch: epoch, Site: s.ID, Fn: target,
 			Value: uint64(edgesDiscovered),
 		})
 	}
@@ -409,11 +525,14 @@ func (h *hashTable) lookup(target prog.FuncID) (uint64, bool) {
 	return 0, false
 }
 
-// actionForLocked computes the instrumentation decision for one edge
-// under the newest assignment. Caller holds d.mu and has already
-// published any snapshot change (re-encoding publishes the new epoch
-// before rebuilding), so the published snapshot is the newest state.
-func (d *DACCE) actionForLocked(e edgeRef) edgeAction {
+// actionFor computes the instrumentation decision for one edge under
+// the newest assignment. Reads only the published snapshot and the
+// sharded edge-existence maps, so the trap path calls it without d.mu;
+// a re-encoding publishes the new epoch's snapshot before rebuilding,
+// so the published snapshot is always the newest state, and no pass can
+// complete mid-call (the caller is either off-safepoint in the handler
+// or holds d.mu with the world stopped).
+func (d *DACCE) actionFor(e edgeRef) edgeAction {
 	snap := d.cur()
 	asn := snap.dicts[len(snap.dicts)-1]
 	ge := d.g.Edge(e.site, e.target)
@@ -447,9 +566,34 @@ type edgeRef struct {
 
 func s_isTail(p *prog.Program, sid prog.SiteID) bool { return p.Site(sid).Kind.IsTail() }
 
-// rebuildSiteLocked regenerates the stub of one call site from the
-// current graph and assignment. Caller holds d.mu.
-func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
+// siteShardCount is the number of stub-rebuild shards; power of two so
+// the shard index is a mask.
+const siteShardCount = 64
+
+// siteShard serializes stub rebuilds for the sites hashing to it and
+// owns their hash-promotion dedup set. Without it, two threads
+// concurrently discovering different targets of one indirect site could
+// install stubs out of order and lose the later target until the next
+// full pass; with it, the last rebuild to run has seen every inserted
+// edge.
+type siteShard struct {
+	mu     sync.Mutex
+	hashed map[prog.SiteID]bool // sites promoted to hash dispatch
+}
+
+func (d *DACCE) siteShard(sid prog.SiteID) *siteShard {
+	return &d.siteShards[uint32(sid)&(siteShardCount-1)]
+}
+
+// rebuildSite regenerates the stub of one call site from the current
+// graph and assignment, serialized per site-shard. Safe both from the
+// sharded trap path (no d.mu) and under d.mu with the world stopped
+// (lock order d.mu → siteShard.mu is respected everywhere).
+func (d *DACCE) rebuildSite(sid prog.SiteID) {
+	sh := d.siteShard(sid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
 	m := d.m.Load() // non-nil: rebuilds only run on an installed encoder
 	edges := d.g.EdgesAt(sid)
 	if len(edges) == 0 {
@@ -459,7 +603,7 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 	s := d.p.Site(sid)
 	markID := d.cur().maxID + 1
 	if !s.Kind.IsIndirect() {
-		act := d.actionForLocked(edgeRef{sid, edges[0].Target})
+		act := d.actionFor(edgeRef{sid, edges[0].Target})
 		if act.kind == actEncoded && act.code == 0 && !act.save {
 			// The hottest edge into each node is encoded 0 and needs no
 			// instrumentation at all (paper §4).
@@ -472,7 +616,7 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 	}
 	actions := make([]edgeAction, 0, len(edges))
 	for _, e := range edges {
-		actions = append(actions, d.actionForLocked(edgeRef{sid, e.Target}))
+		actions = append(actions, d.actionFor(edgeRef{sid, e.Target}))
 	}
 	if len(actions) <= d.opt.InlineThreshold {
 		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, inline: actions})
@@ -483,8 +627,8 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 	// behind it.
 	h, rest := buildHash(actions)
 	m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
-	if !d.hashed[sid] {
-		d.hashed[sid] = true
+	if !sh.hashed[sid] {
+		sh.hashed[sid] = true
 		if d.sink != nil {
 			d.sink.Emit(telemetry.Event{
 				Kind: telemetry.EvIndirectPromoted, Thread: -1,
@@ -496,11 +640,12 @@ func (d *DACCE) rebuildSiteLocked(sid prog.SiteID) {
 }
 
 // rebuildAllLocked regenerates every patched site. Caller holds d.mu
-// with the world stopped.
+// with the world stopped (or before any thread runs), with publication
+// buffers drained, so every discovered edge is registered and visible.
 func (d *DACCE) rebuildAllLocked() {
 	for sid := 0; sid < d.p.NumSites(); sid++ {
 		if len(d.g.EdgesAt(prog.SiteID(sid))) > 0 {
-			d.rebuildSiteLocked(prog.SiteID(sid))
+			d.rebuildSite(prog.SiteID(sid))
 		}
 	}
 }

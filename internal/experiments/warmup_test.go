@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dacce/internal/blenc"
+	"dacce/internal/core"
+	"dacce/internal/graph"
+	"dacce/internal/machine"
+	"dacce/internal/persist"
+	"dacce/internal/prog"
+	"dacce/internal/workload"
+)
+
+// coldRun executes the profile's workload on a fresh encoder in the
+// given discovery mode and returns the warmed encoder and run stats.
+func coldRun(t *testing.T, pr workload.Profile, serialized bool) (*core.DACCE, *workload.Workload, *machine.RunStats) {
+	t.Helper()
+	w, err := workload.Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.New(w.P, core.Options{SerializedDiscovery: serialized})
+	m := w.NewMachine(d, machine.Config{SampleEvery: 31})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w, rs
+}
+
+// edgeSet returns the graph's registered edge keys, sorted.
+func edgeSet(g *graph.Graph) []graph.EdgeKey {
+	keys := make([]graph.EdgeKey, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		keys = append(keys, graph.EdgeKey{Site: e.Site, Target: e.Target})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Site != keys[j].Site {
+			return keys[i].Site < keys[j].Site
+		}
+		return keys[i].Target < keys[j].Target
+	})
+	return keys
+}
+
+// canonicalDict re-encodes the graph's edge set from a canonical
+// rebuild: edges inserted in sorted (site, target) order with no
+// frequency heat and no hot-first ordering. Two graphs with the same
+// edge set always canonicalize to the identical assignment, whatever
+// order concurrent discovery registered their edges in.
+func canonicalDict(g *graph.Graph, p *prog.Program) *blenc.Assignment {
+	clone := graph.New(p)
+	for _, r := range g.Roots() {
+		clone.AddRoot(r)
+	}
+	for _, k := range edgeSet(g) {
+		clone.AddEdge(k.Site, k.Target)
+	}
+	return blenc.Encode(clone, blenc.Options{NoHotOrder: true})
+}
+
+// diffColdStart runs the profile cold under the sharded trap path and
+// under the serialized baseline and returns a description of the first
+// mismatch between the two outcomes, or "" when they agree.
+func diffColdStart(t *testing.T, pr workload.Profile) string {
+	t.Helper()
+	ds, ws, _ := coldRun(t, pr, false)
+	dg, wg, _ := coldRun(t, pr, true)
+
+	gs, gg := ds.Graph(), dg.Graph()
+	es, eg := edgeSet(gs), edgeSet(gg)
+	if len(es) != len(eg) {
+		return fmt.Sprintf("edge sets differ: sharded %d edges, serialized %d", len(es), len(eg))
+	}
+	for i := range es {
+		if es[i] != eg[i] {
+			return fmt.Sprintf("edge sets differ at %d: sharded %v, serialized %v", i, es[i], eg[i])
+		}
+	}
+	if ss, sg := ds.Stats(), dg.Stats(); ss.EdgesDiscovered != len(es) || sg.EdgesDiscovered != len(eg) {
+		return fmt.Sprintf("discovered-edge counters off: sharded %d, serialized %d, want %d",
+			ss.EdgesDiscovered, sg.EdgesDiscovered, len(es))
+	}
+
+	// The live dictionaries may encode in different hot orders (the
+	// runs pass at different times, so per-edge heat differs at
+	// snapshot), but the context-count structure they assign is a
+	// function of the graph alone.
+	as, ag := canonicalDict(gs, ws.P), canonicalDict(gg, wg.P)
+	if as.MaxID != ag.MaxID {
+		return fmt.Sprintf("canonical MaxID differs: sharded %d, serialized %d", as.MaxID, ag.MaxID)
+	}
+	if len(as.NumCC) != len(ag.NumCC) {
+		return fmt.Sprintf("canonical NumCC sizes differ: sharded %d, serialized %d", len(as.NumCC), len(ag.NumCC))
+	}
+	for fn, n := range as.NumCC {
+		if ag.NumCC[fn] != n {
+			return fmt.Sprintf("canonical NumCC[f%d] differs: sharded %d, serialized %d", fn, n, ag.NumCC[fn])
+		}
+	}
+	for k, c := range as.Codes {
+		if ag.Codes[k] != c {
+			return fmt.Sprintf("canonical code for %v differs: sharded %v, serialized %v", k, c, ag.Codes[k])
+		}
+	}
+	return ""
+}
+
+// TestConcurrentColdStart is the tentpole's correctness gate: four
+// goroutine threads trap the same cold graph through the sharded
+// discovery path (run under -race in CI), and the final graph and
+// canonical dictionary must match the serialized baseline run bit for
+// bit. The sharded run's samples must decode against the machine's
+// shadow stacks, and a warm start from its snapshot must replay the
+// identical workload with zero handler traps.
+func TestConcurrentColdStart(t *testing.T) {
+	pr := warmupProfile(4, 6_000)
+	pr.Name = "coldstart-race"
+	if d := diffColdStart(t, pr); d != "" {
+		t.Fatal(d)
+	}
+
+	d, _, rs := coldRun(t, pr, false)
+	if rs.C.HandlerTraps == 0 {
+		t.Fatal("cold run executed no handler traps; the test exercised nothing")
+	}
+	if len(rs.Samples) == 0 {
+		t.Fatal("no samples retained")
+	}
+	for i, s := range rs.Samples {
+		ctx, err := d.DecodeSample(s)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if len(ctx) < len(s.Shadow) {
+			t.Fatalf("sample %d: decode has %d frames, shadow %d", i, len(ctx), len(s.Shadow))
+		}
+		local := ctx[len(ctx)-len(s.Shadow):]
+		for j, f := range s.Shadow {
+			if local[j].Fn != f.Fn {
+				t.Fatalf("sample %d frame %d: decoded f%d, shadow f%d", i, j, local[j].Fn, f.Fn)
+			}
+		}
+	}
+
+	// Warm-start replay through the persistence codec: the sharded
+	// structures must export deterministically enough to re-patch every
+	// site before first touch.
+	data, err := persist.Marshal(d.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := persist.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := workload.Build(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := core.Restore(w2.P, core.Options{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w2.NewMachine(d2, machine.Config{SampleEvery: 31, DropSamples: true})
+	rs2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.C.HandlerTraps != 0 {
+		t.Fatalf("warm-started replay executed %d handler traps, want 0", rs2.C.HandlerTraps)
+	}
+}
+
+// sweepProfile derives a small per-seed cold-start workload: varied
+// shape (fan-out, indirect sites, recursion, 2–4 threads) but a budget
+// small enough that a thousand seeds stay testable under -race.
+func sweepProfile(seed uint64) workload.Profile {
+	threads := 2 + int(seed%3)
+	return workload.Profile{
+		Name:          fmt.Sprintf("coldsweep-%d", seed),
+		Seed:          seed*0x9E3779B97F4A7C15 + 1,
+		ExecFuncs:     28 + int(seed%5)*8,
+		ExecEdges:     60 + int(seed%7)*20,
+		Layers:        5 + int(seed%4),
+		IndirectSites: int(seed % 4),
+		ActualTargets: 2 + int(seed%2),
+		RecSites:      int(seed % 3),
+		RecProb:       0.25,
+		RecStartProb:  0.05,
+		Threads:       threads,
+		TotalCalls:    2_000 * int64(threads),
+		Phases:        1,
+	}
+}
+
+// TestColdStartSeedSweep is the differential sweep from the acceptance
+// gate: a thousand seeded workload shapes, each discovered cold by
+// concurrent sharded threads and by the serialized baseline, must agree
+// on the final graph and canonical dictionary with zero divergences.
+// -short runs a spot-check slice.
+func TestColdStartSeedSweep(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 50
+	}
+	divergences := 0
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		if d := diffColdStart(t, sweepProfile(seed)); d != "" {
+			divergences++
+			t.Errorf("seed %d: %s", seed, d)
+			if divergences >= 5 {
+				t.Fatalf("%d divergences; stopping the sweep early", divergences)
+			}
+		}
+	}
+	if divergences != 0 {
+		t.Fatalf("differential sweep: %d of %d seeds diverged", divergences, seeds)
+	}
+}

@@ -11,13 +11,21 @@
 // iteration orders are insertion orders, which makes every analysis —
 // and therefore every encoding — deterministic.
 //
-// Synchronization is the caller's job: DACCE mutates the graph only
-// inside the runtime handler under the scheme lock, and analyses run
-// with the world stopped.
+// Synchronization is split in two. Edge existence — the (site, target)
+// maps consulted and grown by the runtime handler on every trap — is
+// sharded by SiteID with one mutex per shard, so concurrent discovery
+// on different sites never contends (DiscoverEdge, Edge, EdgesAt are
+// safe to call from any thread). The registry — NodeSeq, Edges, the
+// node table and the In/Out adjacency lists that the analyses walk —
+// stays the caller's job: DACCE registers discovered edges in batches
+// under its scheme lock (RegisterEdges), and analyses run with the
+// world stopped. AddEdge composes the two steps for single-threaded
+// builders (PCCE, state restore).
 package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"dacce/internal/prog"
 )
@@ -65,6 +73,20 @@ type EdgeKey struct {
 	Target prog.FuncID
 }
 
+// shardCount is the number of edge-existence shards. Power of two so
+// the shard index is a mask; 64 keeps the per-shard footprint tiny
+// while making same-shard collisions between concurrently-trapping
+// sites unlikely at realistic thread counts.
+const shardCount = 64
+
+// shard holds the edge-existence state for the sites hashing to it.
+// Guarded by its own mutex so concurrent discovery scales.
+type shard struct {
+	mu     sync.Mutex
+	edges  map[EdgeKey]*Edge
+	bySite map[prog.SiteID][]*Edge
+}
+
 // Graph is a dynamic call graph.
 type Graph struct {
 	p       *prog.Program
@@ -72,10 +94,9 @@ type Graph struct {
 	roots   []prog.FuncID // Entry plus thread entry points, in order
 	rootSet map[prog.FuncID]bool
 	NodeSeq []*Node // nodes in insertion order
-	Edges   []*Edge // edges in insertion order
+	Edges   []*Edge // registered edges in registration order
 	nodes   map[prog.FuncID]*Node
-	edges   map[EdgeKey]*Edge
-	bySite  map[prog.SiteID][]*Edge
+	shards  [shardCount]shard
 }
 
 // New returns a graph over the program containing only the entry node,
@@ -86,13 +107,20 @@ func New(p *prog.Program) *Graph {
 		Entry:   p.Entry,
 		rootSet: make(map[prog.FuncID]bool),
 		nodes:   make(map[prog.FuncID]*Node),
-		edges:   make(map[EdgeKey]*Edge),
-		bySite:  make(map[prog.SiteID][]*Edge),
+	}
+	for i := range g.shards {
+		g.shards[i].edges = make(map[EdgeKey]*Edge)
+		g.shards[i].bySite = make(map[prog.SiteID][]*Edge)
 	}
 	g.AddNode(p.Entry)
 	g.roots = []prog.FuncID{p.Entry}
 	g.rootSet[p.Entry] = true
 	return g
+}
+
+// shardOf returns the shard owning a site's edge-existence state.
+func (g *Graph) shardOf(site prog.SiteID) *shard {
+	return &g.shards[uint32(site)&(shardCount-1)]
 }
 
 // AddRoot registers fn as an additional traversal root: a thread entry
@@ -132,38 +160,88 @@ func (g *Graph) AddNode(fn prog.FuncID) *Node {
 	return n
 }
 
-// Edge returns the edge for (site, target), or nil.
+// Edge returns the edge for (site, target), or nil. Safe to call
+// concurrently with discovery on any site.
 func (g *Graph) Edge(site prog.SiteID, target prog.FuncID) *Edge {
-	return g.edges[EdgeKey{site, target}]
+	sh := g.shardOf(site)
+	sh.mu.Lock()
+	e := sh.edges[EdgeKey{site, target}]
+	sh.mu.Unlock()
+	return e
 }
 
-// EdgesAt returns all edges out of the given call site.
-func (g *Graph) EdgesAt(site prog.SiteID) []*Edge { return g.bySite[site] }
+// EdgesAt returns all edges out of the given call site, in discovery
+// order. Safe to call concurrently with discovery: the slice is
+// append-only, so the returned header stays valid while new edges land
+// past its length.
+func (g *Graph) EdgesAt(site prog.SiteID) []*Edge {
+	sh := g.shardOf(site)
+	sh.mu.Lock()
+	es := sh.bySite[site]
+	sh.mu.Unlock()
+	return es
+}
 
-// AddEdge ensures the (site, target) edge exists and returns it together
-// with whether it was newly inserted. Caller and target nodes are added
-// as needed.
-func (g *Graph) AddEdge(site prog.SiteID, target prog.FuncID) (*Edge, bool) {
+// DiscoverEdge ensures the (site, target) edge exists in the site's
+// shard and returns it together with whether it was newly inserted.
+// Only the shard lock is taken, so concurrent discovery on different
+// shards never contends. A new edge is NOT yet registered: it has
+// Seq == -1, is absent from Edges/NodeSeq/In/Out, and must be passed to
+// RegisterEdges (under the caller's registry synchronization) before
+// any analysis or encoding pass runs.
+func (g *Graph) DiscoverEdge(site prog.SiteID, target prog.FuncID) (*Edge, bool) {
 	key := EdgeKey{site, target}
-	if e, ok := g.edges[key]; ok {
+	sh := g.shardOf(site)
+	sh.mu.Lock()
+	if e, ok := sh.edges[key]; ok {
+		sh.mu.Unlock()
 		return e, false
 	}
 	s := g.p.Site(site)
-	caller := g.AddNode(s.Caller)
-	tnode := g.AddNode(target)
 	e := &Edge{
-		Seq:    len(g.Edges),
+		Seq:    -1,
 		Site:   site,
 		Caller: s.Caller,
 		Target: target,
 		Kind:   s.Kind,
 	}
-	g.edges[key] = e
-	g.Edges = append(g.Edges, e)
-	g.bySite[site] = append(g.bySite[site], e)
-	caller.Out = append(caller.Out, e)
-	tnode.In = append(tnode.In, e)
+	sh.edges[key] = e
+	sh.bySite[site] = append(sh.bySite[site], e)
+	sh.mu.Unlock()
 	return e, true
+}
+
+// RegisterEdges adds previously discovered edges to the registry:
+// assigns each its Seq, appends it to Edges and wires the caller/target
+// nodes' adjacency lists. Registration order is the caller's batch
+// order, which fixes every later analysis order. The caller must hold
+// its registry lock (DACCE's scheme mutex); edges already registered
+// are skipped, so replaying a batch is harmless.
+func (g *Graph) RegisterEdges(batch []*Edge) {
+	for _, e := range batch {
+		if e.Seq >= 0 {
+			continue
+		}
+		caller := g.AddNode(e.Caller)
+		tnode := g.AddNode(e.Target)
+		e.Seq = len(g.Edges)
+		g.Edges = append(g.Edges, e)
+		caller.Out = append(caller.Out, e)
+		tnode.In = append(tnode.In, e)
+	}
+}
+
+// AddEdge ensures the (site, target) edge exists, registered, and
+// returns it together with whether it was newly inserted — the
+// single-threaded composition of DiscoverEdge + RegisterEdges used by
+// up-front builders (PCCE, breadcrumbs) and state restore. The caller
+// must hold the registry synchronization.
+func (g *Graph) AddEdge(site prog.SiteID, target prog.FuncID) (*Edge, bool) {
+	e, isNew := g.DiscoverEdge(site, target)
+	if isNew {
+		g.RegisterEdges([]*Edge{e})
+	}
+	return e, isNew
 }
 
 // GetEdge implements the decoder's getEdge(cs, ifun) lookup: the edge at

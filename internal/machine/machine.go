@@ -154,7 +154,8 @@ type Machine struct {
 	scheme Scheme
 	cfg    Config
 
-	slots []atomic.Pointer[Stub] // per call site
+	slots   []atomic.Pointer[Stub] // per call site
+	patches atomic.Int64           // stub patches performed (code rewrites)
 
 	// Stop-the-world state (paper §4: suspend all threads by signal; we
 	// use cooperative safepoints at call prologues and inside Work).
@@ -220,10 +221,17 @@ func (m *Machine) Scheme() Scheme { return m.scheme }
 
 // SetStub patches the stub of a call site ("rewriting the code"). Safe
 // to call concurrently with execution; in-flight invocations finish
-// under the stub they loaded, exactly like patched binaries.
+// under the stub they loaded, exactly like patched binaries. Every
+// patch is counted: RunStats.Patches reports how much code rewriting a
+// run performed, the cold-start analogue of the re-encoding cost
+// columns.
 func (m *Machine) SetStub(site prog.SiteID, s Stub) {
 	m.slots[site].Store(&s)
+	m.patches.Add(1)
 }
+
+// Patches returns the number of stub patches performed so far.
+func (m *Machine) Patches() int64 { return m.patches.Load() }
 
 // StubAt returns the current stub of a site.
 func (m *Machine) StubAt(site prog.SiteID) Stub {
@@ -269,6 +277,7 @@ func (m *Machine) Run() (*RunStats, error) {
 	m.wg.Wait()
 	m.stats.Elapsed = time.Since(start)
 	m.stats.Scheme = m.scheme.Name()
+	m.stats.Patches = m.patches.Load()
 
 	m.threadsMu.Lock()
 	defer m.threadsMu.Unlock()

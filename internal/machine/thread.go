@@ -118,6 +118,10 @@ type RunStats struct {
 	Scheme  string
 	Threads int
 	Elapsed time.Duration
+	// Patches is the number of stub patches (code rewrites) the scheme
+	// performed over the run: initial trap installation plus every
+	// discovery- or re-encoding-driven site rebuild.
+	Patches int64
 	C       Counters
 	Samples []Sample
 }

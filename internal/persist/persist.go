@@ -35,6 +35,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"dacce/internal/core"
 	"dacce/internal/graph"
@@ -111,9 +112,27 @@ func Hash(data []byte) string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// Save marshals the state and writes it to path atomically: the bytes
-// go to a temporary file in the same directory, are synced, and the
-// file is renamed into place, so a crash mid-write never leaves a
+// syncDir fsyncs a directory so a rename into it is durable — without
+// it a crash right after a "successful" Save can roll the directory
+// entry back and lose the snapshot entirely. Swappable so tests can
+// assert the sync actually runs, and a no-op on platforms that cannot
+// open directories for syncing (windows).
+var syncDir = func(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Save marshals the state and writes it to path atomically and durably:
+// the bytes go to a temporary file in the same directory, are synced,
+// the file is renamed into place, and the parent directory is synced so
+// the rename itself survives a crash. A crash mid-write never leaves a
 // half-written snapshot where a loader can find it.
 func Save(path string, st *core.EncoderState) error {
 	data, err := Marshal(st)
@@ -142,6 +161,9 @@ func Save(path string, st *core.EncoderState) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: installing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("persist: syncing snapshot directory: %w", err)
 	}
 	return nil
 }

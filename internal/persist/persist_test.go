@@ -47,6 +47,14 @@ func warmEncoder(t *testing.T, pr workload.Profile) (*core.DACCE, *workload.Work
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Sharded cold start coalesces concurrent discovery bursts into few
+	// passes, so a multi-threaded warmup can legitimately converge in a
+	// single epoch; the tests need a multi-epoch archive, so force one
+	// more pass in that case (what a checkpointing process calling
+	// ForceReencode before -save-state would produce).
+	if d.Epoch() < 2 {
+		d.ForceReencode(nil)
+	}
 	if d.Epoch() < 2 {
 		t.Fatalf("warmup reached only epoch %d; the tests need a multi-epoch archive", d.Epoch())
 	}
@@ -127,6 +135,39 @@ func TestSaveLoad(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("snapshot directory holds %d entries, want just the snapshot", len(entries))
+	}
+}
+
+// TestSaveSyncsDirectory asserts the durability path: Save must fsync
+// the snapshot's parent directory after the rename (the rename is what
+// makes the snapshot visible, and only a directory sync makes the
+// rename itself survive a crash), and a directory-sync failure must
+// surface as a Save error, not a silent "success" that might not be on
+// disk.
+func TestSaveSyncsDirectory(t *testing.T) {
+	d, _, _ := warmEncoder(t, gateProfile(1, 30_000))
+	st := d.ExportState()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "enc.snap")
+
+	orig := syncDir
+	defer func() { syncDir = orig }()
+
+	var synced []string
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("Save synced %v, want exactly [%s]", synced, dir)
+	}
+
+	syncDir = func(string) error { return errors.New("disk gone") }
+	if err := Save(filepath.Join(dir, "enc2.snap"), st); err == nil {
+		t.Fatal("Save reported success although the directory sync failed")
 	}
 }
 

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client posts decode batches to a dacced server. Unlike a bare
+// http.Post it bounds every attempt with a request timeout (a dead
+// server fails the call instead of hanging it forever) and retries
+// transient failures — transport errors, 429 back-pressure, 502/503/504
+// — a bounded number of times, honoring the server's Retry-After header
+// (the server answers a full tenant queue with 429 and Retry-After: 1).
+type Client struct {
+	// BaseURL is the server root, e.g. http://localhost:8357.
+	BaseURL string
+	// Timeout bounds each individual attempt (default 30s).
+	Timeout time.Duration
+	// MaxRetries is how many times a retryable failure is retried after
+	// the first attempt (default 3; 0 keeps the default, negative
+	// disables retries).
+	MaxRetries int
+
+	// HTTPClient overrides the transport; when nil, an http.Client with
+	// Timeout is used. Tests inject an httptest client here.
+	HTTPClient *http.Client
+	// Sleep overrides the inter-retry wait (tests record it); nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 3
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+// retryable reports whether an HTTP status is worth retrying: the
+// server's back-pressure signal and gateway-style transient failures.
+// Everything else (400 bad request, 404 unknown tenant, 500 decode
+// failure) is deterministic and retrying it only repeats the error.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter returns the wait the server asked for, or a capped
+// exponential fallback when the header is absent or unparsable.
+// Only the delta-seconds header form is parsed — it is what dacced
+// sends; an HTTP-date falls back to the backoff schedule.
+func retryAfter(resp *http.Response, attempt int) time.Duration {
+	if resp != nil {
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	backoff := 250 * time.Millisecond << attempt
+	if backoff > 4*time.Second {
+		backoff = 4 * time.Second
+	}
+	return backoff
+}
+
+// Decode posts one decode request, retrying transient failures, and
+// returns the parsed response. A response with a non-retryable (or
+// retries-exhausted) non-200 status becomes an error carrying the
+// server's message.
+func (c *Client) Decode(req *DecodeRequest) (*DecodeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	url := c.BaseURL + "/v1/decode"
+	hc := c.httpClient()
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			if attempt >= c.retries() {
+				return nil, fmt.Errorf("%s: %w (after %d attempts)", url, lastErr, attempt+1)
+			}
+			sleep(retryAfter(nil, attempt))
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+			if !retryable(resp.StatusCode) || attempt >= c.retries() {
+				return nil, lastErr
+			}
+			sleep(retryAfter(resp, attempt))
+			continue
+		}
+		var dr DecodeResponse
+		if err := json.Unmarshal(data, &dr); err != nil {
+			return nil, fmt.Errorf("bad response from %s: %w", url, err)
+		}
+		if len(dr.Results) != len(req.Captures) {
+			return nil, fmt.Errorf("%s returned %d results for %d captures", url, len(dr.Results), len(req.Captures))
+		}
+		return &dr, nil
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dacce/internal/core"
+)
+
+// fakeDecode is an httptest handler that runs through the given status
+// script (one entry per request, last entry repeating) and answers 200
+// entries with a well-formed single-result DecodeResponse.
+func fakeDecode(t *testing.T, script []int, hits *int, retryAfter string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t.Helper()
+		if r.URL.Path != "/v1/decode" {
+			t.Errorf("request hit %s, want /v1/decode", r.URL.Path)
+		}
+		status := script[min(*hits, len(script)-1)]
+		*hits++
+		if status != http.StatusOK {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "tenant at capacity", status)
+			return
+		}
+		var req DecodeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		resp := DecodeResponse{Tenant: req.Tenant, Results: make([]DecodeResult, len(req.Captures))}
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func testRequest() *DecodeRequest {
+	return &DecodeRequest{Tenant: "t", Captures: []*core.Capture{{ID: 1}}}
+}
+
+// TestClientRetriesHonorRetryAfter: 429 responses are retried, waiting
+// exactly the server's Retry-After seconds, and the call succeeds once
+// the server recovers.
+func TestClientRetriesHonorRetryAfter(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(fakeDecode(t, []int{429, 429, 200}, &hits, "1"))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: srv.Client(),
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := c.Decode(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(resp.Results))
+	}
+	if hits != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits)
+	}
+	if len(slept) != 2 || slept[0] != time.Second || slept[1] != time.Second {
+		t.Fatalf("client slept %v, want [1s 1s] from Retry-After", slept)
+	}
+}
+
+// TestClientRetriesBounded: a server that never recovers fails the call
+// after the retry budget instead of looping forever, and the error
+// carries the server's message.
+func TestClientRetriesBounded(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(fakeDecode(t, []int{429}, &hits, "0"))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:    srv.URL,
+		MaxRetries: 2,
+		HTTPClient: srv.Client(),
+		Sleep:      func(time.Duration) {},
+	}
+	_, err := c.Decode(testRequest())
+	if err == nil {
+		t.Fatal("exhausted retries did not fail the call")
+	}
+	if hits != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", hits)
+	}
+	if !strings.Contains(err.Error(), "tenant at capacity") {
+		t.Fatalf("error %q does not carry the server message", err)
+	}
+}
+
+// TestClientNoRetryOnDeterministicError: 4xx/5xx statuses outside the
+// transient set fail immediately — retrying a bad request or an unknown
+// tenant only repeats the error.
+func TestClientNoRetryOnDeterministicError(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(fakeDecode(t, []int{404}, &hits, ""))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, HTTPClient: srv.Client(), Sleep: func(time.Duration) {}}
+	if _, err := c.Decode(testRequest()); err == nil {
+		t.Fatal("404 did not fail the call")
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries)", hits)
+	}
+}
+
+// TestClientTimeout: a hung server fails the attempt after Timeout
+// instead of blocking the CLI forever.
+func TestClientTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release) // LIFO: unblock the handler before srv.Close waits on it
+
+	c := &Client{BaseURL: srv.URL, Timeout: 50 * time.Millisecond, MaxRetries: -1}
+	start := time.Now()
+	_, err := c.Decode(testRequest())
+	if err == nil {
+		t.Fatal("hung server did not fail the call")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestClientRetryAfterFallback: a retryable status without a parsable
+// Retry-After waits the capped exponential fallback schedule.
+func TestClientRetryAfterFallback(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(fakeDecode(t, []int{503, 503, 200}, &hits, ""))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: srv.Client(),
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	if _, err := c.Decode(testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 2 || slept[0] != 250*time.Millisecond || slept[1] != 500*time.Millisecond {
+		t.Fatalf("client slept %v, want the 250ms/500ms backoff fallback", slept)
+	}
+}
