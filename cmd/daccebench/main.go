@@ -6,12 +6,21 @@
 //	daccebench fig10  [-calls N] [-bench ...]         Figure 10 depth CDFs
 //	daccebench steady [-threads 1,2,4,8] [-compare]   steady-state scalability suite
 //	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
+//	daccebench obs    [-threads 1,2,4]                observability-overhead suite
 //	daccebench all    [-calls N]                      everything
 //
 // Every subcommand accepts -cpuprofile/-memprofile (pprof output) and
 // -bench-json (machine-readable results; the steady suite's JSON is
-// the committed BENCH_steady_state.json format). Results print to
-// stdout; progress goes to stderr.
+// the committed BENCH_steady_state.json format, the obs suite's the
+// committed BENCH_observability.json format). Results print to stdout;
+// progress goes to stderr.
+//
+// `steady -ccprof-out FILE` attaches the always-on streaming context
+// profiler to the measured encoder and writes the aggregated context
+// profile at exit (pprof protobuf; folded text when the name ends in
+// .folded) — the quickest way to flame-graph what the suite executed.
+// The warmup table reports the STW re-encode pause p50/p99/max each
+// configuration paid, from the encoder's always-on pause histogram.
 package main
 
 import (
@@ -55,6 +64,8 @@ func run() int {
 	threadsFlag := fs.String("threads", "", "steady: comma-separated thread counts (default 1,2,4,8)")
 	compare := fs.Bool("compare", false, "steady/warmup: also run the mutex-serialized comparison build and report speedups")
 	noReplay := fs.Bool("no-replay", false, "warmup: skip the warm-start replay rows")
+	ccprofOut := fs.String("ccprof-out", "", "steady: write the streaming context profile to this file (pprof protobuf; folded text for .folded names)")
+	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3)")
 	_ = fs.Parse(os.Args[2:])
 
 	if *version || cmd == "-version" || cmd == "version" {
@@ -137,9 +148,11 @@ func run() int {
 		}
 		err = runReport(out, cfg)
 	case "steady":
-		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON, state)
+		err = runSteady(*threadsFlag, *calls, *sample, *compare, *benchJSON, *ccprofOut, state)
 	case "warmup":
 		err = runWarmup(*threadsFlag, *calls, *sample, *compare, *noReplay, *benchJSON)
+	case "obs":
+		err = runObs(*threadsFlag, *calls, *sample, *reps, *benchJSON)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -163,13 +176,14 @@ func run() int {
 // runSteady drives the multi-threaded steady-state scalability suite
 // and renders a summary table; -bench-json additionally writes the full
 // report in the BENCH_steady_state.json format.
-func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare bool, jsonOut string, state *cliutil.State) error {
+func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare bool, jsonOut, ccprofOut string, state *cliutil.State) error {
 	cfg := experiments.SteadyConfig{
 		CallsPerThread: callsPerThread,
 		SampleEvery:    sampleEvery,
 		Compare:        compare,
 		LoadState:      state.Load,
 		SaveState:      state.Save,
+		CcprofOut:      ccprofOut,
 	}
 	// The shared -sample default (256) suits the figure benchmarks; the
 	// steady suite wants its own aggressive default so the sampling
@@ -177,14 +191,14 @@ func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare boo
 	if sampleEvery == 256 {
 		cfg.SampleEvery = 0
 	}
-	if threadsCSV != "" {
-		for _, part := range strings.Split(threadsCSV, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				return fmt.Errorf("bad -threads value %q", part)
-			}
-			cfg.Threads = append(cfg.Threads, n)
-		}
+	// -ccprof-out needs one thread count (each generates its own
+	// program); default to the largest swept elsewhere.
+	if ccprofOut != "" && threadsCSV == "" {
+		cfg.Threads = []int{4}
+	}
+	var err error
+	if cfg.Threads, err = parseThreads(threadsCSV, cfg.Threads); err != nil {
+		return err
 	}
 	rep, err := experiments.SteadyState(cfg)
 	if err != nil {
@@ -206,6 +220,9 @@ func runSteady(threadsCSV string, callsPerThread, sampleEvery int64, compare boo
 			}
 			fmt.Println(line)
 		}
+	}
+	if ccprofOut != "" {
+		fmt.Fprintf(os.Stderr, "ccprof: %d contexts written to %s\n", rep.CcprofContexts, ccprofOut)
 	}
 	if jsonOut != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
@@ -235,26 +252,22 @@ func runWarmup(threadsCSV string, callsPerThread, sampleEvery int64, compare, no
 	if sampleEvery != 256 {
 		cfg.SampleEvery = sampleEvery
 	}
-	if threadsCSV != "" {
-		for _, part := range strings.Split(threadsCSV, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				return fmt.Errorf("bad -threads value %q", part)
-			}
-			cfg.Threads = append(cfg.Threads, n)
-		}
+	var err error
+	if cfg.Threads, err = parseThreads(threadsCSV, cfg.Threads); err != nil {
+		return err
 	}
 	rep, err := experiments.Warmup(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("# Cold-start scalability (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
-	fmt.Printf("%-8s %-8s %-7s %12s %8s %7s %7s %12s %14s\n",
-		"threads", "mode", "phase", "traps/s", "traps", "edges", "passes", "stable-ms", "calls/s")
+	fmt.Printf("%-8s %-8s %-7s %12s %8s %7s %7s %12s %14s %10s %10s %10s\n",
+		"threads", "mode", "phase", "traps/s", "traps", "edges", "passes", "stable-ms", "calls/s",
+		"pause-p50", "pause-p99", "pause-max")
 	for _, r := range rep.Rows {
-		fmt.Printf("%-8d %-8s %-7s %12.0f %8d %7d %7d %12.2f %14.0f\n",
+		fmt.Printf("%-8d %-8s %-7s %12.0f %8d %7d %7d %12.2f %14.0f %8.1fus %8.1fus %8.1fus\n",
 			r.Threads, r.Mode, r.Phase, r.TrapsPerSec, r.HandlerTraps, r.EdgesDiscovered,
-			r.Passes, r.TimeToStableMs, r.CallsPerSec)
+			r.Passes, r.TimeToStableMs, r.CallsPerSec, r.PauseP50Us, r.PauseP99Us, r.PauseMaxUs)
 	}
 	for _, n := range rep.Config.Threads {
 		k := fmt.Sprint(n)
@@ -283,8 +296,73 @@ func runWarmup(threadsCSV string, callsPerThread, sampleEvery int64, compare, no
 	return nil
 }
 
+// runObs drives the observability-overhead suite — the steady workload
+// with the plane off, with the streaming context profiler attached, and
+// with the full plane — and renders a summary table; -bench-json
+// additionally writes the full report in the BENCH_observability.json
+// format.
+func runObs(threadsCSV string, callsPerThread, sampleEvery int64, reps int, jsonOut string) error {
+	cfg := experiments.ObservabilityConfig{
+		CallsPerThread: callsPerThread,
+		Reps:           reps,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// obs suite has its own default (64) — the plane's cost is
+	// per-sample, so -sample directly sets how hard the suite leans on
+	// it.
+	if sampleEvery != 256 {
+		cfg.SampleEvery = sampleEvery
+	}
+	var err error
+	if cfg.Threads, err = parseThreads(threadsCSV, cfg.Threads); err != nil {
+		return err
+	}
+	rep, err := experiments.Observability(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Observability overhead (GOMAXPROCS=%d, NumCPU=%d, best of %d)\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.Config.Reps)
+	fmt.Printf("%-8s %-8s %14s %14s %12s %10s\n",
+		"threads", "mode", "calls/s", "allocs/call", "contexts", "overhead")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8d %-8s %14.0f %14.4f %12d %9.2f%%\n",
+			r.Threads, r.Mode, r.CallsPerSec, r.AllocsPerCall, r.ContextsObserved, r.OverheadPct)
+	}
+	fmt.Printf("max profiler overhead: %.2f%%\n", rep.MaxProfilerOverheadPct)
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "observability report written to", jsonOut)
+	}
+	return nil
+}
+
+// parseThreads parses a -threads CSV, returning def untouched when the
+// flag was not given.
+func parseThreads(csv string, def []int) ([]int, error) {
+	if csv == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -threads value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

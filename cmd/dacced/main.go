@@ -14,7 +14,13 @@
 // uploaded at runtime via POST /v1/snapshot?tenant=NAME.
 //
 // Endpoints: POST /v1/decode, GET|POST /v1/snapshot, GET /v1/stats,
-// GET /healthz, GET /metrics. See internal/server for the wire format.
+// GET /healthz, GET /metrics, GET /debug/ccprof (live per-tenant
+// context profile: pprof protobuf, ?format=folded|tree), GET
+// /debug/vars (metrics as JSON with quantile snapshots). See
+// internal/server for the wire format.
+//
+// -slo-decode-p99 arms the SLO watchdog over the decode latency
+// histogram; a breach logs an slo_breach event ring to stderr.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"dacce/internal/buildinfo"
 	"dacce/internal/cliutil"
 	"dacce/internal/server"
+	"dacce/internal/telemetry"
 )
 
 // loadFlags collects repeated -load name=path (or bare path) values.
@@ -52,6 +59,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 4, "concurrent decode requests per tenant")
 	queueDepth := flag.Int("queue-depth", 64, "queued decode requests per tenant before 429")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+	sloDecodeP99 := flag.Duration("slo-decode-p99", 0, "SLO: breach when the decode-request p99 exceeds this duration (0 disables)")
+	sloCheckEvery := flag.Duration("slo-check-every", time.Second, "how often the SLO watchdog samples its rules")
 	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Var(&loads, "load", "snapshot to serve, as name=path or path (tenant name from the file name); repeatable")
 	flag.Parse()
@@ -60,13 +69,13 @@ func main() {
 		cliutil.PrintVersion("dacced")
 		return
 	}
-	if err := run(*listen, loads, *maxConcurrent, *queueDepth, *drainTimeout); err != nil {
+	if err := run(*listen, loads, *maxConcurrent, *queueDepth, *drainTimeout, *sloDecodeP99, *sloCheckEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "dacced:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, loads []string, maxConcurrent, queueDepth int, drainTimeout time.Duration) error {
+func run(listen string, loads []string, maxConcurrent, queueDepth int, drainTimeout, sloDecodeP99, sloCheckEvery time.Duration) error {
 	srv := server.New(server.Config{MaxConcurrent: maxConcurrent, QueueDepth: queueDepth})
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
@@ -86,6 +95,22 @@ func run(listen string, loads []string, maxConcurrent, queueDepth int, drainTime
 			return fmt.Errorf("loading %s: %w", path, err)
 		}
 		log.Printf("tenant %s: %s (%d bytes)", key, path, len(data))
+	}
+
+	// SLO watchdog over the live decode-latency histogram. Breaches go
+	// through a flight recorder, so each one dumps its event ring (the
+	// breach itself, plus any earlier breaches) to stderr for postmortem.
+	if sloDecodeP99 > 0 {
+		fr := telemetry.NewFlightRecorder(0, os.Stderr)
+		w := telemetry.NewWatchdog(fr)
+		w.Add(telemetry.SLORule{
+			Name:   "decode_p99_us",
+			Source: telemetry.QuantileSource(srv.DecodeLatency(), 0.99),
+			Max:    sloDecodeP99.Microseconds(),
+		})
+		stop := w.Watch(sloCheckEvery)
+		defer stop()
+		log.Printf("slo: decode p99 ≤ %v, checked every %v", sloDecodeP99, sloCheckEvery)
 	}
 
 	hs := &http.Server{Addr: listen, Handler: srv.Handler()}

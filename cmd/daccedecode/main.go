@@ -11,6 +11,11 @@
 // so `daccedecode -remote` can be diffed against a local decode.
 //
 //	daccedecode -dir /tmp/run -remote http://localhost:8357 -tenant myprog
+//
+// -ccprof-out aggregates every decoded context into a calling-context
+// profile and writes it (pprof protobuf, or folded text when the name
+// ends in .folded) — the offline twin of the live /debug/ccprof
+// endpoint, for dumps collected without a profiler attached.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dacce/internal/ccprof"
@@ -40,6 +46,7 @@ func main() {
 	tree := flag.Bool("tree", false, "aggregate all captures into a calling-context profile tree instead of listing them")
 	remote := flag.String("remote", "", "decode via a dacced server at this base URL instead of in-process")
 	tenant := flag.String("tenant", "", "tenant name or name@hash for -remote")
+	ccprofOut := flag.String("ccprof-out", "", "aggregate the decoded contexts into a profile and write it to this file (pprof protobuf; folded text for .folded names)")
 	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Parse()
 	if *version {
@@ -47,24 +54,28 @@ func main() {
 		return
 	}
 	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "usage: daccedecode -dir <dump-dir> [-n N] [-tree] [-remote URL -tenant NAME]")
+		fmt.Fprintln(os.Stderr, "usage: daccedecode -dir <dump-dir> [-n N] [-tree] [-ccprof-out file] [-remote URL -tenant NAME]")
 		os.Exit(2)
 	}
 	if *remote != "" && *tree {
 		fmt.Fprintln(os.Stderr, "daccedecode: -remote and -tree are mutually exclusive")
 		os.Exit(2)
 	}
+	if *remote != "" && *ccprofOut != "" {
+		fmt.Fprintln(os.Stderr, "daccedecode: -ccprof-out needs the local decode bundle (drop -remote)")
+		os.Exit(2)
+	}
 	if *remote != "" && *tenant == "" {
 		fmt.Fprintln(os.Stderr, "daccedecode: -remote requires -tenant")
 		os.Exit(2)
 	}
-	if err := run(*dir, *n, *tree, *remote, *tenant); err != nil {
+	if err := run(*dir, *n, *tree, *remote, *tenant, *ccprofOut); err != nil {
 		fmt.Fprintln(os.Stderr, "daccedecode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, n int, tree bool, remote, tenant string) error {
+func run(dir string, n int, tree bool, remote, tenant, ccprofOut string) error {
 	captures, err := readCaptures(dir)
 	if err != nil {
 		return err
@@ -94,8 +105,14 @@ func run(dir string, n int, tree bool, remote, tenant string) error {
 	fmt.Printf("bundle: %d funcs, %d edges, %d epochs; decoding %d captures\n\n",
 		len(bundle.Funcs), len(bundle.Edges), len(bundle.Epochs), len(captures))
 
+	// -ccprof-out aggregates into a profile in either print mode; -tree
+	// prints the same aggregation as a tree.
+	var prof *ccprof.Profile
+	if tree || ccprofOut != "" {
+		prof = ccprof.New(dec.P)
+	}
+
 	if tree {
-		prof := ccprof.New(dec.P)
 		failures := 0
 		for _, c := range captures {
 			ctx, err := dec.Decode(c)
@@ -115,6 +132,9 @@ func run(dir string, n int, tree bool, remote, tenant string) error {
 		for _, h := range prof.Hot(10) {
 			fmt.Printf("  %5.1f%%  %s\n", 100*h.Frac, pretty(bundle, h.Context))
 		}
+		if err := writeCcprof(ccprofOut, prof); err != nil {
+			return err
+		}
 		if failures > 0 {
 			return fmt.Errorf("%d captures failed to decode", failures)
 		}
@@ -130,10 +150,45 @@ func run(dir string, n int, tree bool, remote, tenant string) error {
 			continue
 		}
 		fmt.Printf("%4d  epoch=%-3d id=%-8d |cc|=%-3d %s\n", i, c.Epoch, c.ID, len(c.CC), pretty(bundle, ctx))
+		if prof != nil {
+			if err := prof.Add(ctx); err != nil {
+				return fmt.Errorf("aggregating context %d: %w", i, err)
+			}
+		}
+	}
+	if err := writeCcprof(ccprofOut, prof); err != nil {
+		return err
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d captures failed to decode", failures, len(captures))
 	}
+	return nil
+}
+
+// writeCcprof writes the aggregated profile to path (no-op when path is
+// empty): folded text when the name ends in .folded, gzipped pprof
+// protobuf otherwise.
+func writeCcprof(path string, prof *ccprof.Profile) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".folded") {
+		werr = prof.WriteFolded(f)
+	} else {
+		werr = prof.WritePprof(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing context profile: %w", werr)
+	}
+	fmt.Fprintf(os.Stderr, "ccprof: %d contexts written to %s\n", prof.Total(), path)
 	return nil
 }
 

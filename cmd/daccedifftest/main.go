@@ -27,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dacce/internal/cliutil"
 	"dacce/internal/difftest"
@@ -184,8 +185,14 @@ func runSweep(cfg runConfig, opt difftest.Options) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	totalSamples, maxEpochs := 0, uint32(0)
+	// Per-spec replay latency rides the same log-bucketed histogram the
+	// rest of the observability plane uses, so the sweep's tail is
+	// visible without timing every seed by hand.
+	lat := telemetry.NewHistogram(telemetry.DurationBuckets())
 	for i, spec := range specs {
+		start := time.Now()
 		res, err := difftest.Run(spec, opt)
+		lat.ObserveDuration(time.Since(start))
 		if err != nil {
 			return fmt.Errorf("spec %d (%s): %w", i, spec.Profile.Name, err)
 		}
@@ -227,8 +234,10 @@ func runSweep(cfg runConfig, opt difftest.Options) error {
 		}
 		return fmt.Errorf("divergence on spec %q", spec.Profile.Name)
 	}
-	fmt.Printf("OK: %d specs, %d query points, max %d epochs, 0 divergences\n",
-		len(specs), totalSamples, maxEpochs)
+	ls := lat.Snapshot()
+	fmt.Printf("OK: %d specs, %d query points, max %d epochs, 0 divergences (replay p50 %v, p99 %v, max %v)\n",
+		len(specs), totalSamples, maxEpochs,
+		time.Duration(ls.P50), time.Duration(ls.P99), time.Duration(ls.Max))
 	return nil
 }
 

@@ -15,6 +15,13 @@
 // -trace-out writes a Chrome trace-event file (load it in
 // chrome://tracing or Perfetto), -flight-recorder keeps a ring buffer
 // of the last N events and dumps it on id overflow or decode failure.
+//
+// Profiling (dacce only): the streaming context profiler rides every
+// sample; -ccprof-out writes the aggregate at exit (pprof protobuf, or
+// folded text with a .folded name), -debug-listen serves it live at
+// /debug/ccprof. -slo-pause-p99/-slo-decode-p99/-slo-trap-backlog arm
+// the SLO watchdog: a breach emits an slo_breach event and auto-dumps
+// the flight recorder (enabled implicitly when thresholds are set).
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dacce/internal/cct"
 	"dacce/internal/cliutil"
@@ -45,6 +53,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	tel := cliutil.AddTelemetry(flag.CommandLine)
 	state := cliutil.AddState(flag.CommandLine)
+	prof := cliutil.AddProfiler(flag.CommandLine)
 	version := cliutil.AddVersion(flag.CommandLine)
 	flag.Parse()
 
@@ -58,13 +67,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate, tel, state); err != nil {
+	if err := run(*bench, *scheme, *calls, *sample, *dump, *validate, tel, state, prof); err != nil {
 		fmt.Fprintln(os.Stderr, "daccerun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, schemeName string, calls, sample int64, dump string, validate bool, tel *cliutil.Telemetry, state *cliutil.State) error {
+func run(bench, schemeName string, calls, sample int64, dump string, validate bool, tel *cliutil.Telemetry, state *cliutil.State, prof *cliutil.Profiler) error {
 	pr, ok := workload.ByName(bench)
 	if !ok {
 		return fmt.Errorf("unknown benchmark %q", bench)
@@ -80,7 +89,9 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	// Assemble the telemetry pipeline. All enabled sinks see the same
 	// event stream: DACCE emits encoder events through Options.Sink,
 	// and Instrument adds thread lifecycle and sampling events for
-	// every scheme, baselines included.
+	// every scheme, baselines included. Armed SLO thresholds implicitly
+	// enable the flight recorder so a breach has history to dump.
+	prof.EnsureFlight(tel)
 	sink := tel.Sink()
 
 	if state.Active() && schemeName != "dacce" {
@@ -94,8 +105,15 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 	case "null":
 		sch = machine.NullScheme{}
 	case "dacce":
-		d, err = state.NewEncoder(w.P, core.Options{TrackProgress: true, Sink: sink})
+		d, err = state.NewEncoder(w.P, core.Options{
+			TrackProgress:   true,
+			Sink:            sink,
+			ContextObserver: prof.Observer(w.P),
+		})
 		if err != nil {
+			return err
+		}
+		if _, err := prof.Start(d, sink, tel.Metrics()); err != nil {
 			return err
 		}
 		if state.Load != "" {
@@ -153,6 +171,10 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 		st := d.Stats()
 		fmt.Printf("dacce          %d nodes, %d edges, maxID %s, gTS %d, re-encode cost %.0f us, tail fixups %d\n",
 			st.Nodes, st.Edges, stats.SciNotation(st.MaxID, st.Overflowed), st.GTS, st.ReencodeCostMicros(), st.TailFixups)
+		if ph := d.PauseHist().Snapshot(); ph.Count > 0 {
+			fmt.Printf("stw pause      %d passes, p50 %v, p99 %v, max %v\n",
+				ph.Count, time.Duration(ph.P50), time.Duration(ph.P99), time.Duration(ph.Max))
+		}
 	}
 	if ps != nil {
 		fmt.Printf("pcce           %d nodes, %d edges, maxID %s, %d unknown indirect targets\n",
@@ -203,8 +225,22 @@ func run(bench, schemeName string, calls, sample int64, dump string, validate bo
 			return err
 		}
 	}
+	if w := prof.Watchdog(); w != nil {
+		if br := w.Breaches(); len(br) > 0 {
+			total := int64(0)
+			for _, n := range br {
+				total += n
+			}
+			fmt.Printf("slo            %d breach check(s) over threshold: %v\n", total, br)
+		} else {
+			fmt.Printf("slo            all rules within threshold\n")
+		}
+	}
 	if fr := tel.Flight(); fr != nil && fr.Dumps() == 0 {
 		fmt.Printf("flight rec.    %d events buffered, no overflow or decode failure\n", fr.Len())
+	}
+	if err := prof.Finish(); err != nil {
+		return err
 	}
 	if tel.PrintMetrics {
 		fmt.Println()

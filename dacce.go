@@ -213,6 +213,41 @@ func NewCCProfile(p *Program) *CCProfile { return ccprof.New(p) }
 // DiffCCProfiles ranks contexts by weight change between two profiles.
 func DiffCCProfiles(a, b *CCProfile) []CCDiffEntry { return ccprof.Diff(a, b) }
 
+// Always-on profiling and SLO observability: the streaming profiler
+// aggregates every context the live sampling controller decodes into
+// per-thread shards (allocation-free once warm) and exports pprof
+// protobuf, folded stacks or an HTTP handler at any point of the run;
+// the watchdog checks quantile rules over the encoder's always-on
+// pause/decode histograms and emits breach events.
+type (
+	// CCStreaming is the always-on streaming context profiler; attach
+	// it via Options.ContextObserver.
+	CCStreaming = ccprof.Streaming
+	// ContextObserver consumes decoded contexts from the sampling path.
+	ContextObserver = core.ContextObserver
+	// Histogram is a lock-free log-bucketed histogram with estimated
+	// p50/p90/p99 and exact-max snapshots.
+	Histogram = telemetry.Histogram
+	// HistSnapshot is one histogram quantile snapshot.
+	HistSnapshot = telemetry.HistSnapshot
+	// Watchdog periodically evaluates SLO rules and emits EvSLOBreach
+	// events into its sink on violation.
+	Watchdog = telemetry.Watchdog
+	// SLORule is one watchdog threshold over a gauge-valued source.
+	SLORule = telemetry.SLORule
+)
+
+// NewCCStreaming returns a streaming context profiler over p.
+func NewCCStreaming(p *Program) *CCStreaming { return ccprof.NewStreaming(p) }
+
+// NewWatchdog returns an SLO watchdog emitting breaches into sink.
+func NewWatchdog(sink Sink) *Watchdog { return telemetry.NewWatchdog(sink) }
+
+// QuantileSource adapts a histogram quantile into an SLORule source.
+func QuantileSource(h *Histogram, q float64) func() int64 {
+	return telemetry.QuantileSource(h, q)
+}
+
 // Synthetic benchmarks: the 41 SPEC CPU2006 / Parsec 2.1 workload
 // profiles calibrated from the paper's Table 1.
 type (

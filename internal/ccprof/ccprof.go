@@ -41,24 +41,28 @@ func New(p *prog.Program) *Profile {
 }
 
 // Add records one decoded context.
-func (pr *Profile) Add(ctx core.Context) error {
+func (pr *Profile) Add(ctx core.Context) error { return pr.addN(ctx, 1) }
+
+// addN records a context with weight n — the bulk path folded-stack
+// parsing and shard merging use.
+func (pr *Profile) addN(ctx core.Context, n int64) error {
 	if len(ctx) == 0 {
 		return fmt.Errorf("ccprof: empty context")
 	}
-	pr.total++
+	pr.total += n
 	cur := pr.root
-	cur.Inclusive++
+	cur.Inclusive += n
 	if ctx[0].Fn != cur.Fn {
 		// A different thread root: hang it off a synthetic child so one
 		// profile can hold all threads.
 		cur = pr.child(cur, prog.NoSite, ctx[0].Fn)
-		cur.Inclusive++
+		cur.Inclusive += n
 	}
 	for _, f := range ctx[1:] {
 		cur = pr.child(cur, f.Site, f.Fn)
-		cur.Inclusive++
+		cur.Inclusive += n
 	}
-	cur.Exclusive++
+	cur.Exclusive += n
 	return nil
 }
 

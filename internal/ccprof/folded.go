@@ -1,0 +1,104 @@
+package ccprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dacce/internal/core"
+	"dacce/internal/prog"
+)
+
+// WriteFolded renders the profile in folded-stack form — one line per
+// calling context, frames root-first joined by ';', followed by the
+// exclusive count — the input format of flame-graph tooling
+// (flamegraph.pl, speedscope, inferno). Frames are function names, so
+// contexts that differ only in call site fold together; lines are
+// sorted for deterministic output.
+func (pr *Profile) WriteFolded(w io.Writer) error {
+	counts := map[string]int64{}
+	var walkPath func(n *Node, path string)
+	walkPath = func(n *Node, path string) {
+		name := pr.funcName(n.Fn)
+		if path == "" {
+			path = name
+		} else {
+			path = path + ";" + name
+		}
+		if n.Exclusive > 0 {
+			counts[path] += n.Exclusive
+		}
+		for _, c := range n.Children {
+			walkPath(c, path)
+		}
+	}
+	walkPath(pr.root, "")
+	lines := make([]string, 0, len(counts))
+	for path, n := range counts {
+		lines = append(lines, fmt.Sprintf("%s %d", path, n))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseFolded reads folded-stack lines back into a profile over p.
+// Frames are resolved by function name; sites are lost in the folded
+// form, so every reconstructed frame carries prog.NoSite — inclusive
+// and exclusive counts aggregated by function path survive the
+// round-trip exactly.
+func ParseFolded(p *prog.Program, r io.Reader) (*Profile, error) {
+	byName := make(map[string]prog.FuncID, p.NumFuncs())
+	for i := range p.Funcs {
+		byName[p.Funcs[i].Name] = prog.FuncID(i)
+	}
+	pr := New(p)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("ccprof: folded line %d: no count: %q", lineNo, line)
+		}
+		count, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil || count < 0 {
+			return nil, fmt.Errorf("ccprof: folded line %d: bad count %q", lineNo, line[sp+1:])
+		}
+		names := strings.Split(line[:sp], ";")
+		ctx := make(core.Context, 0, len(names))
+		for _, name := range names {
+			fn, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("ccprof: folded line %d: unknown function %q", lineNo, name)
+			}
+			ctx = append(ctx, core.ContextFrame{Site: prog.NoSite, Fn: fn})
+		}
+		if err := pr.addN(ctx, count); err != nil {
+			return nil, fmt.Errorf("ccprof: folded line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ccprof: reading folded input: %v", err)
+	}
+	return pr, nil
+}
+
+func (pr *Profile) funcName(fn prog.FuncID) string {
+	if int(fn) >= 0 && int(fn) < pr.p.NumFuncs() {
+		return pr.p.Funcs[fn].Name
+	}
+	return "?"
+}

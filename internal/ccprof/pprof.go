@@ -1,0 +1,289 @@
+// pprof protobuf export. The profile.proto encoding is hand-rolled —
+// the repo carries no generated protobuf code and no dependencies — so
+// this file implements the minimal writer (and, for validation, reader)
+// of the subset of the format a calling-context profile needs: one
+// sample type, samples whose location chain is the context leaf-first,
+// one location and function per program function. `go tool pprof`
+// accepts the output directly.
+package ccprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"dacce/internal/prog"
+)
+
+// proto wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+// protoBuf is a minimal protobuf writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+func (p *protoBuf) intField(field int, v int64) { p.uintField(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) { p.bytesField(field, []byte(s)) }
+
+func (p *protoBuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+func (p *protoBuf) msgField(field int, m *protoBuf) { p.bytesField(field, m.b) }
+
+// WritePprof serializes the profile as a gzipped pprof protobuf
+// (sample type "samples"/"count"; each distinct context becomes one
+// sample weighted by its exclusive count, its location chain leaf
+// first). Frames map to functions — call-site detail folds together,
+// matching the folded-stack view.
+func (pr *Profile) WritePprof(w io.Writer) error {
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	samplesStr := intern("samples")
+	countStr := intern("count")
+
+	// One function + location per program function actually present in
+	// the tree; ids are FuncID+1 (pprof ids must be nonzero).
+	seen := map[prog.FuncID]bool{}
+	var order []prog.FuncID
+	pr.walk(func(n *Node) {
+		if n.Fn >= 0 && !seen[n.Fn] {
+			seen[n.Fn] = true
+			order = append(order, n.Fn)
+		}
+	})
+
+	var out protoBuf
+
+	// sample_type: one ValueType{type: "samples", unit: "count"}.
+	var vt protoBuf
+	vt.intField(1, samplesStr)
+	vt.intField(2, countStr)
+	out.msgField(1, &vt)
+
+	// samples: leaf-first location chains.
+	pr.walk(func(n *Node) {
+		if n.Exclusive <= 0 {
+			return
+		}
+		var locs []uint64
+		for cur := n; cur != nil; cur = cur.Parent {
+			if cur.Fn >= 0 {
+				locs = append(locs, uint64(cur.Fn)+1)
+			}
+		}
+		var sm protoBuf
+		sm.packedField(1, locs)
+		sm.packedField(2, []uint64{uint64(n.Exclusive)})
+		out.msgField(2, &sm)
+	})
+
+	// locations + functions.
+	for _, fn := range order {
+		id := uint64(fn) + 1
+		var line protoBuf
+		line.uintField(1, id) // function_id
+		var loc protoBuf
+		loc.uintField(1, id) // id
+		loc.msgField(4, &line)
+		out.msgField(4, &loc)
+	}
+	for _, fn := range order {
+		name := intern(pr.funcName(fn))
+		var f protoBuf
+		f.uintField(1, uint64(fn)+1) // id
+		f.intField(2, name)          // name
+		f.intField(3, name)          // system_name
+		out.msgField(5, &f)
+	}
+
+	// string_table (all entries, "" included).
+	for _, s := range strs {
+		out.stringField(6, s)
+	}
+
+	// period_type + period: one context per sample.
+	var pt protoBuf
+	pt.intField(1, samplesStr)
+	pt.intField(2, countStr)
+	out.msgField(11, &pt)
+	out.uintField(12, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// PprofTotals parses a (gzipped or raw) pprof protobuf profile and
+// returns its sample count and the sum of every sample's first value —
+// the integrity check the tests and the smoke CI run against exported
+// profiles without shelling out to `go tool pprof`.
+func PprofTotals(r io.Reader) (samples int, total int64, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, 0, fmt.Errorf("ccprof: pprof gzip: %v", err)
+		}
+		if data, err = io.ReadAll(gz); err != nil {
+			return 0, 0, fmt.Errorf("ccprof: pprof gunzip: %v", err)
+		}
+	}
+	seenStringTable := false
+	err = protoFields(data, func(field int, wire int, varint uint64, body []byte) error {
+		switch field {
+		case 2: // Sample
+			if wire != wireBytes {
+				return fmt.Errorf("sample field has wire type %d", wire)
+			}
+			samples++
+			return protoFields(body, func(f, w int, v uint64, b []byte) error {
+				if f == 2 { // value (packed int64)
+					vs, err := unpackVarints(b, w, v)
+					if err != nil {
+						return err
+					}
+					if len(vs) > 0 {
+						total += int64(vs[0])
+					}
+				}
+				return nil
+			})
+		case 6:
+			seenStringTable = true
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("ccprof: parsing pprof: %v", err)
+	}
+	if !seenStringTable {
+		return 0, 0, fmt.Errorf("ccprof: pprof profile has no string table")
+	}
+	return samples, total, nil
+}
+
+// protoFields walks the top-level fields of one message.
+func protoFields(data []byte, f func(field, wire int, varint uint64, body []byte) error) error {
+	for len(data) > 0 {
+		key, n := readVarint(data)
+		if n <= 0 {
+			return fmt.Errorf("truncated tag")
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case wireVarint:
+			v, n := readVarint(data)
+			if n <= 0 {
+				return fmt.Errorf("truncated varint in field %d", field)
+			}
+			data = data[n:]
+			if err := f(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wireBytes:
+			l, n := readVarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("truncated bytes in field %d", field)
+			}
+			body := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := f(field, wire, 0, body); err != nil {
+				return err
+			}
+		case 1: // 64-bit
+			if len(data) < 8 {
+				return fmt.Errorf("truncated fixed64 in field %d", field)
+			}
+			data = data[8:]
+		case 5: // 32-bit
+			if len(data) < 4 {
+				return fmt.Errorf("truncated fixed32 in field %d", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// unpackVarints decodes a packed-varint payload (or a single unpacked
+// varint occurrence).
+func unpackVarints(body []byte, wire int, varint uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		return []uint64{varint}, nil
+	}
+	var out []uint64
+	for len(body) > 0 {
+		v, n := readVarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("truncated packed varint")
+		}
+		out = append(out, v)
+		body = body[n:]
+	}
+	return out, nil
+}
+
+func readVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

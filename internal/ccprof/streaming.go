@@ -1,0 +1,240 @@
+package ccprof
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"dacce/internal/core"
+	"dacce/internal/prog"
+)
+
+// Streaming is the always-on profiler: a core.ContextObserver that
+// aggregates every context the sampling controller decodes, while the
+// program runs, into the same calling-context tree an offline Profile
+// builds — without adding a lock or an allocation to the sample path.
+//
+// Contention follows the PR-5 sharded-buffer idiom: each machine thread
+// accumulates into its own shard (a private CCT guarded by a mutex only
+// that thread and the merger touch, so steady-state acquisition is
+// uncontended), and shards are folded into the merged profile only when
+// an export asks for it. Observe allocates nothing once a context's
+// node path exists; shard registration and first-visit node creation
+// are warm-up costs.
+type Streaming struct {
+	p *prog.Program
+
+	// shards is indexed by machine thread id and grown copy-on-write
+	// under mu, so the Observe fast path is one atomic load + index.
+	shards atomic.Pointer[[]*streamShard]
+
+	// mu serializes shard-registry growth, merging and exports.
+	mu     sync.Mutex
+	merged *Profile
+
+	observed atomic.Int64
+}
+
+// streamShard is one thread's private accumulation tree. incl/excl
+// counts accumulate between merges; Merge drains them into the shared
+// profile and zeroes them, keeping the nodes for reuse.
+type streamShard struct {
+	mu      sync.Mutex
+	root    snode
+	pending int64 // contexts accumulated since the last merge
+}
+
+// snode mirrors Node for the per-shard tree, without parent pointers:
+// shards only ever descend.
+type snode struct {
+	site     prog.SiteID
+	fn       prog.FuncID
+	excl     int64
+	incl     int64
+	children []*snode
+}
+
+func (n *snode) child(site prog.SiteID, fn prog.FuncID) *snode {
+	for _, c := range n.children {
+		if c.site == site && c.fn == fn {
+			return c
+		}
+	}
+	c := &snode{site: site, fn: fn}
+	n.children = append(n.children, c)
+	return c
+}
+
+// NewStreaming returns an empty streaming profiler over p. Attach it
+// with core.Options.ContextObserver or DACCE.SetContextObserver.
+func NewStreaming(p *prog.Program) *Streaming {
+	s := &Streaming{p: p, merged: New(p)}
+	empty := make([]*streamShard, 0)
+	s.shards.Store(&empty)
+	return s
+}
+
+// shard returns the calling thread's shard, creating and registering it
+// on first sight of the thread id (copy-on-write growth under mu; the
+// loop re-checks because two new threads can race the growth).
+func (s *Streaming) shard(thread int) *streamShard {
+	for {
+		sp := *s.shards.Load()
+		if thread < len(sp) && sp[thread] != nil {
+			return sp[thread]
+		}
+		s.mu.Lock()
+		sp = *s.shards.Load()
+		if thread < len(sp) && sp[thread] != nil {
+			s.mu.Unlock()
+			return sp[thread]
+		}
+		grown := make([]*streamShard, max(thread+1, len(sp)))
+		copy(grown, sp)
+		sh := &streamShard{root: snode{site: prog.NoSite, fn: s.p.Entry}}
+		grown[thread] = sh
+		s.shards.Store(&grown)
+		s.mu.Unlock()
+		return sh
+	}
+}
+
+// ObserveContext implements core.ContextObserver: fold one decoded
+// context into the calling thread's shard. Replicates Profile.Add
+// exactly (root matching, synthetic children for foreign thread roots,
+// inclusive along the path, exclusive at the leaf), so merging all
+// shards yields the same tree an offline Add-per-context build does.
+// ctx is consumed before return, never retained.
+func (s *Streaming) ObserveContext(thread int, ctx core.Context) {
+	if len(ctx) == 0 || thread < 0 {
+		return
+	}
+	sh := s.shard(thread)
+	sh.mu.Lock()
+	cur := &sh.root
+	cur.incl++
+	if ctx[0].Fn != cur.fn {
+		cur = cur.child(prog.NoSite, ctx[0].Fn)
+		cur.incl++
+	}
+	for _, f := range ctx[1:] {
+		cur = cur.child(f.Site, f.Fn)
+		cur.incl++
+	}
+	cur.excl++
+	sh.pending++
+	sh.mu.Unlock()
+	s.observed.Add(1)
+}
+
+// Observed returns how many contexts the profiler has consumed.
+func (s *Streaming) Observed() int64 { return s.observed.Load() }
+
+// mergeLocked drains every shard's accumulated counts into the merged
+// profile. Caller holds s.mu. Shard trees keep their nodes (zeroed), so
+// a steady-state workload re-accumulates without allocating.
+func (s *Streaming) mergeLocked() {
+	sp := *s.shards.Load()
+	for _, sh := range sp {
+		if sh == nil {
+			continue
+		}
+		sh.mu.Lock()
+		s.absorb(&sh.root, s.merged.root)
+		s.merged.total += sh.pending
+		sh.pending = 0
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Streaming) absorb(from *snode, into *Node) {
+	into.Inclusive += from.incl
+	into.Exclusive += from.excl
+	from.incl, from.excl = 0, 0
+	for _, c := range from.children {
+		s.absorb(c, s.merged.child(into, c.site, c.fn))
+	}
+}
+
+// Profile merges all pending accumulation and returns a deep copy of
+// the aggregate — an ordinary offline profile safe for Hot, WriteTree,
+// Diff and further Adds, detached from the live profiler.
+func (s *Streaming) Profile() *Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked()
+	return s.merged.clone()
+}
+
+// Total merges and returns the aggregate context count.
+func (s *Streaming) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked()
+	return s.merged.total
+}
+
+// WritePprof merges and writes the aggregate as a gzipped pprof
+// protobuf profile.
+func (s *Streaming) WritePprof(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked()
+	return s.merged.WritePprof(w)
+}
+
+// WriteFolded merges and writes the aggregate in folded-stack form.
+func (s *Streaming) WriteFolded(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked()
+	return s.merged.WriteFolded(w)
+}
+
+// Handler serves the live profile over HTTP: pprof protobuf by default,
+// folded text with ?format=folded, the context tree with ?format=tree —
+// the /debug/ccprof endpoint of dacced and daccerun.
+func (s *Streaming) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "folded":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = s.WriteFolded(w)
+		case "tree":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			pr := s.Profile()
+			_ = pr.WriteTree(w, 0.001)
+		default:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="ccprof.pb.gz"`)
+			if err := s.WritePprof(w); err != nil {
+				http.Error(w, fmt.Sprintf("writing profile: %v", err), http.StatusInternalServerError)
+			}
+		}
+	})
+}
+
+// clone deep-copies a profile.
+func (pr *Profile) clone() *Profile {
+	out := New(pr.p)
+	out.total = pr.total
+	var rec func(src *Node, dst *Node)
+	rec = func(src, dst *Node) {
+		dst.Exclusive = src.Exclusive
+		dst.Inclusive = src.Inclusive
+		for _, c := range src.Children {
+			rec(c, out.child(dst, c.Site, c.Fn))
+		}
+	}
+	rec(pr.root, out.root)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

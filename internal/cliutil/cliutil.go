@@ -70,6 +70,10 @@ func (t *Telemetry) Sink() telemetry.Sink {
 // off (call after Sink).
 func (t *Telemetry) Flight() *telemetry.FlightRecorder { return t.fr }
 
+// Metrics returns the metrics sink, or nil when -metrics is off (call
+// after Sink).
+func (t *Telemetry) Metrics() *telemetry.Metrics { return t.mts }
+
 // Finish flushes the file-producing sinks: the Chrome trace goes to
 // -trace-out (with a notice on stderr), the metrics snapshot to
 // metricsOut in the chosen format.

@@ -101,6 +101,22 @@ type Options struct {
 	// site guards on it with a single branch, so an unobserved run
 	// constructs no events.
 	Sink telemetry.Sink
+	// ContextObserver receives every context the sampling controller
+	// decodes, straight off the live OnSample path — the feed of the
+	// always-on streaming profiler (ccprof.Streaming). Nil disables the
+	// hook. See SetContextObserver for the contract.
+	ContextObserver ContextObserver
+}
+
+// ContextObserver consumes decoded calling contexts from the live
+// sampling path. Implementations must be safe for concurrent calls from
+// multiple machine threads, must not retain ctx (it aliases the
+// sampling thread's scratch buffer and is overwritten by the next
+// sample), must not call back into the encoder, and must be cheap and
+// allocation-free at steady state — the observer runs inside the
+// sampling controller the 0-alloc gate covers.
+type ContextObserver interface {
+	ObserveContext(thread int, ctx Context)
 }
 
 // DefaultInlineThreshold matches the paper's "small number of indirect
@@ -186,6 +202,21 @@ type DACCE struct {
 	// path — each emission site is one predictable branch).
 	sink telemetry.Sink
 
+	// ctxObs is the streaming-profiler hook, published atomically so it
+	// can be attached to an already-running encoder without a race with
+	// in-flight samples.
+	ctxObs atomic.Pointer[ContextObserver]
+
+	// Always-on latency histograms over the runtime's own control
+	// points. They exist regardless of any sink — the warmup suite
+	// reads pause quantiles from every run and the SLO watchdog needs
+	// live sources — and they are off the per-call fast path: a pass,
+	// a trap and an external decode are each rare enough that one
+	// lock-free Observe is noise.
+	pauseHist  *telemetry.Histogram // STW re-encoding pause, wall ns
+	trapHist   *telemetry.Histogram // runtime-handler trap latency, wall ns
+	decodeHist *telemetry.Histogram // external Decode latency, wall ns
+
 	// Adaptive-trigger counters, reset at each re-encoding. All are
 	// atomic so the trigger pre-check (Maintain, OnSample, the trap's
 	// fast path) is a handful of loads with no lock. backoff scales the
@@ -226,10 +257,17 @@ func New(p *prog.Program, opt Options) *DACCE {
 	}
 	opt.Trig.fill()
 	d := &DACCE{
-		opt:  opt,
-		p:    p,
-		g:    graph.New(p),
-		sink: opt.Sink,
+		opt:        opt,
+		p:          p,
+		g:          graph.New(p),
+		sink:       opt.Sink,
+		pauseHist:  telemetry.NewHistogram(telemetry.DurationBuckets()),
+		trapHist:   telemetry.NewHistogram(telemetry.DurationBuckets()),
+		decodeHist: telemetry.NewHistogram(telemetry.DurationBuckets()),
+	}
+	if opt.ContextObserver != nil {
+		obs := opt.ContextObserver
+		d.ctxObs.Store(&obs)
 	}
 	for i := range d.siteShards {
 		d.siteShards[i].hashed = make(map[prog.SiteID]bool)
@@ -410,6 +448,12 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 				}
 			}
 			t.C.InstrCost += machine.CostSampleDecode
+			// The streaming profiler rides the decode the controller
+			// already paid for: the observer consumes ctx before the
+			// scratch is reused, keeping the whole path allocation-free.
+			if op := d.ctxObs.Load(); op != nil {
+				(*op).ObserveContext(t.ID(), ctx)
+			}
 		}
 	}
 	if d.opt.TrackProgress && n%d.opt.ProgressEvery == 0 {
@@ -476,3 +520,33 @@ func (d *DACCE) Stats() *Stats {
 // CompressCount returns how many back edges currently have recursion
 // compression enabled. Lock-free.
 func (d *DACCE) CompressCount() int { return len(d.cur().compress) }
+
+// SetContextObserver attaches (or, with nil, detaches) the streaming
+// context observer fed from the live sampling path. Safe to call while
+// the machine runs; in-flight samples see either the old or the new
+// observer.
+func (d *DACCE) SetContextObserver(o ContextObserver) {
+	if o == nil {
+		d.ctxObs.Store(nil)
+		return
+	}
+	d.ctxObs.Store(&o)
+}
+
+// PauseHist returns the live stop-the-world pause histogram (wall
+// nanoseconds per re-encoding pass). Always on; use Snapshot for
+// quantiles or wire it into an SLO watchdog rule.
+func (d *DACCE) PauseHist() *telemetry.Histogram { return d.pauseHist }
+
+// TrapHist returns the live runtime-handler latency histogram (wall
+// nanoseconds per trap).
+func (d *DACCE) TrapHist() *telemetry.Histogram { return d.trapHist }
+
+// DecodeHist returns the live external-decode latency histogram (wall
+// nanoseconds per Decode call).
+func (d *DACCE) DecodeHist() *telemetry.Histogram { return d.decodeHist }
+
+// TrapBacklog returns how many newly discovered edges await the next
+// re-encoding pass — the watchdog's backlog source: a runaway value
+// means discovery is outpacing the adaptive controller.
+func (d *DACCE) TrapBacklog() int64 { return d.newEdges.Load() }

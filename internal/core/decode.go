@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dacce/internal/blenc"
 	"dacce/internal/graph"
@@ -20,14 +21,17 @@ const maxDecodeSteps = 1 << 22
 // decode walks the capture epoch's immutable snapshot index, never the
 // live graph.
 func (d *DACCE) Decode(c *Capture) (Context, error) {
+	start := time.Now()
 	snap := d.cur()
 	dec := &Decoder{P: d.p, G: d.g, Dicts: snap.dicts, idx: snap.idx}
 	ctx, err := dec.decode(c, true)
+	dur := time.Since(start).Nanoseconds()
+	d.decodeHist.Observe(dur)
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvDecodeRequest, Thread: -1,
 			Epoch: c.Epoch, Site: prog.NoSite, Fn: c.Fn,
-			Err: err != nil, Value: uint64(len(ctx)),
+			Err: err != nil, Value: uint64(len(ctx)), DurNanos: dur,
 		})
 	}
 	return ctx, err

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"dacce/internal/blenc"
 	"dacce/internal/graph"
@@ -73,6 +74,11 @@ func (d *DACCE) ForceReencode(exec prog.Exec) {
 }
 
 func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
+	// The pause clock starts before the world stops: the time spent
+	// waiting for every thread to reach a safepoint is part of the pause
+	// the application experiences. Aborted passes (trigger re-check,
+	// ablation cap) are not recorded — they are gate noise, not passes.
+	start := time.Now()
 	if m := d.m.Load(); m != nil {
 		m.StopTheWorld(self)
 		defer m.ResumeTheWorld(self)
@@ -218,11 +224,13 @@ func (d *DACCE) reencodeIf(self *machine.Thread, force bool) {
 		d.backoff.Store(b + 1)
 	}
 
+	pause := time.Since(start).Nanoseconds()
+	d.pauseHist.Observe(pause)
 	if d.sink != nil {
 		d.sink.Emit(telemetry.Event{
 			Kind: telemetry.EvReencodeEnd, Thread: tid, Reason: reason,
 			Epoch: next.epoch, Site: prog.NoSite, Fn: prog.NoFunc,
-			Value: uint64(cost), Aux: asn.MaxID,
+			Value: uint64(cost), Aux: asn.MaxID, DurNanos: pause,
 		})
 	}
 }

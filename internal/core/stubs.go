@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dacce/internal/graph"
 	"dacce/internal/machine"
@@ -249,6 +250,7 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	if d.opt.SerializedDiscovery {
 		return d.trapApplySerialized(t, s, target)
 	}
+	start := time.Now()
 	t.C.HandlerTraps++
 	t.C.InstrCost += machine.CostHandlerTrap
 
@@ -274,7 +276,7 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 		d.rebuildSite(s.ID)
 		d.publishDiscovery(t, e)
 	}
-	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
+	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch, start)
 
 	if tailFix != prog.NoFunc {
 		d.tailFixup(t, tailFix)
@@ -292,6 +294,7 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	save := snap.tail[target] && !s.Kind.IsTail()
 	ck := d.applyAction(t, st, s.ID, target,
 		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+	d.trapHist.Observe(time.Since(start).Nanoseconds())
 	return ck, d.epi
 }
 
@@ -300,6 +303,7 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 // d.mu, and every trigger firing marches into the stop-the-world pass
 // itself (the convoy the sharded path's gate coalesces).
 func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	start := time.Now()
 	t.C.HandlerTraps++
 	t.C.InstrCost += machine.CostHandlerTrap
 
@@ -330,11 +334,12 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 		ck := d.applyAction(t, st, s.ID, target,
 			edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
 		d.mu.Unlock()
-		d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
+		d.trapHist.Observe(time.Since(start).Nanoseconds())
+		d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch, start)
 		return ck, d.epi
 	}
 	d.mu.Unlock()
-	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch)
+	d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch, start)
 
 	if tailFix != prog.NoFunc {
 		d.tailFixup(t, tailFix)
@@ -352,6 +357,7 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 	ck := d.applyAction(t, st, s.ID, target,
 		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
 	d.mu.Unlock()
+	d.trapHist.Observe(time.Since(start).Nanoseconds())
 	return ck, d.epi
 }
 
@@ -408,14 +414,19 @@ func (d *DACCE) drainAllLocked() {
 // emitTrap emits the handler-trap (and, for new edges, edge-discovered)
 // telemetry. epoch is the gTimeStamp observed at trap entry — captured
 // before any lock release or pass, so a re-encoding racing the emission
-// cannot misattribute the trap to the epoch it did not run under.
-func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, isNew bool, edgesDiscovered int64, epoch uint32) {
+// cannot misattribute the trap to the epoch it did not run under. The
+// event's duration is the handler latency up to emission — it excludes
+// any re-encoding pass this trap goes on to trigger, which is measured
+// separately as that pass's pause (the always-on trapHist records the
+// full wall time, pass included).
+func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, isNew bool, edgesDiscovered int64, epoch uint32, start time.Time) {
 	if d.sink == nil {
 		return
 	}
 	d.sink.Emit(telemetry.Event{
 		Kind: telemetry.EvHandlerTrap, Thread: int32(t.ID()),
 		Epoch: epoch, Site: s.ID, Fn: target,
+		DurNanos: time.Since(start).Nanoseconds(),
 	})
 	if isNew {
 		d.sink.Emit(telemetry.Event{

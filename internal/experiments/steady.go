@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dacce/internal/blenc"
+	"dacce/internal/ccprof"
 	"dacce/internal/core"
 	"dacce/internal/graph"
 	"dacce/internal/machine"
@@ -44,6 +47,12 @@ type SteadyConfig struct {
 	// entry in Threads.
 	LoadState string `json:"load_state,omitempty"`
 	SaveState string `json:"save_state,omitempty"`
+	// CcprofOut attaches the always-on streaming context profiler to the
+	// lock-free encoder and writes the aggregated context profile here
+	// after the steady run (pprof protobuf; folded text when the name
+	// ends in .folded). Because each thread count generates its own
+	// program, it requires a single entry in Threads.
+	CcprofOut string `json:"ccprof_out,omitempty"`
 }
 
 func (c *SteadyConfig) fill() {
@@ -89,6 +98,9 @@ type SteadyReport struct {
 	// Speedup maps a thread count to the steady-state lock-free vs
 	// serialized throughput ratio (present when Compare is set).
 	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// CcprofContexts counts the sampled contexts the streaming profiler
+	// aggregated into CcprofOut (present when CcprofOut is set).
+	CcprofContexts int64 `json:"ccprof_contexts,omitempty"`
 }
 
 // steadyProfile is the synthetic scalability workload for n threads:
@@ -228,6 +240,9 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 	if (cfg.LoadState != "" || cfg.SaveState != "") && len(cfg.Threads) != 1 {
 		return nil, fmt.Errorf("steady: -save-state/-load-state need a single -threads value (each thread count generates its own program), got %v", cfg.Threads)
 	}
+	if cfg.CcprofOut != "" && len(cfg.Threads) != 1 {
+		return nil, fmt.Errorf("steady: -ccprof-out needs a single -threads value (each thread count generates its own program), got %v", cfg.Threads)
+	}
 	rep := &SteadyReport{
 		Config:     cfg,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -279,15 +294,23 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 		// Lock-free build: warm-up on a fresh encoder (or one restored
 		// from a snapshot), then a steady run reusing it (Install
 		// re-traps every site; the warmed graph re-patches them on first
-		// touch without new discoveries).
+		// touch without new discoveries). -ccprof-out rides the build
+		// under test: the streaming profiler observes every sampled
+		// context the controller decodes.
+		opt := core.Options{}
+		var sprof *ccprof.Streaming
+		if cfg.CcprofOut != "" {
+			sprof = ccprof.NewStreaming(w.P)
+			opt.ContextObserver = sprof
+		}
 		var d *core.DACCE
 		if cfg.LoadState != "" {
-			d, err = persist.WarmStart(cfg.LoadState, w.P, core.Options{})
+			d, err = persist.WarmStart(cfg.LoadState, w.P, opt)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			d = core.New(w.P, core.Options{})
+			d = core.New(w.P, opt)
 		}
 		if _, err := run("lockfree", d, d, "warmup"); err != nil {
 			return nil, err
@@ -301,6 +324,12 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 			if err := persist.SaveEncoder(cfg.SaveState, d); err != nil {
 				return nil, err
 			}
+		}
+		if sprof != nil {
+			if err := writeCcprof(cfg.CcprofOut, sprof.Profile()); err != nil {
+				return nil, err
+			}
+			rep.CcprofContexts = sprof.Total()
 		}
 
 		if cfg.Compare {
@@ -325,4 +354,22 @@ func SteadyState(cfg SteadyConfig) (*SteadyReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// writeCcprof writes an aggregated context profile to path: folded text
+// when the name ends in .folded, gzipped pprof protobuf otherwise.
+func writeCcprof(path string, pr *ccprof.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".folded") {
+		err = pr.WriteFolded(f)
+	} else {
+		err = pr.WritePprof(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

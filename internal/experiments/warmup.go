@@ -80,6 +80,13 @@ type WarmupRow struct {
 	// last re-encoding pass — after it the encoding never changed
 	// again, so it is the cold-start settling time.
 	TimeToStableMs float64 `json:"time_to_stable_ms"`
+	// PauseP50Us/PauseP99Us/PauseMaxUs are STW re-encode pause quantiles
+	// from the encoder's always-on pause histogram: what each
+	// re-encoding pass cost the threads it stopped, not just how many
+	// passes ran.
+	PauseP50Us float64 `json:"pause_p50_us"`
+	PauseP99Us float64 `json:"pause_p99_us"`
+	PauseMaxUs float64 `json:"pause_max_us"`
 }
 
 // WarmupReport is the suite's result, serialized as BENCH_warmup.json.
@@ -176,6 +183,7 @@ func Warmup(cfg WarmupConfig) (*WarmupReport, error) {
 				return nil, err
 			}
 			st := d.Stats()
+			ph := d.PauseHist().Snapshot()
 			row := WarmupRow{
 				Threads:         n,
 				Mode:            mode,
@@ -190,6 +198,9 @@ func Warmup(cfg WarmupConfig) (*WarmupReport, error) {
 				ElapsedMs:       float64(elapsed.Microseconds()) / 1e3,
 				CallsPerSec:     float64(rs.C.Calls) / elapsed.Seconds(),
 				TimeToStableMs:  clock.lastMs,
+				PauseP50Us:      float64(ph.P50) / 1e3,
+				PauseP99Us:      float64(ph.P99) / 1e3,
+				PauseMaxUs:      float64(ph.Max) / 1e3,
 			}
 			rep.Rows = append(rep.Rows, row)
 			return &row, nil

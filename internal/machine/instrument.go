@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"time"
+
 	"dacce/internal/prog"
 	"dacce/internal/telemetry"
 )
@@ -58,15 +60,20 @@ func (w *instrumented) Capture(t *Thread) any { return w.inner.Capture(t) }
 
 // OnSample implements SampleObserver, forwarding to the inner scheme
 // when it observes samples itself (DACCE's adaptive controller does).
+// The event carries the inner observer's wall latency, so the sampling
+// controller's cost lands in the sink's latency histogram; emission
+// therefore follows the forward.
 func (w *instrumented) OnSample(t *Thread, capture any) {
-	w.sink.Emit(telemetry.Event{
-		Kind: telemetry.EvSample, Thread: int32(t.ID()),
-		Site: prog.NoSite, Fn: t.SelfID(),
-		Value: uint64(t.C.Samples),
-	})
+	start := time.Now()
 	if obs, ok := w.inner.(SampleObserver); ok {
 		obs.OnSample(t, capture)
 	}
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvSample, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: t.SelfID(),
+		Value:    uint64(t.C.Samples),
+		DurNanos: time.Since(start).Nanoseconds(),
+	})
 }
 
 // Maintain implements Maintainer, forwarding when the inner scheme

@@ -16,6 +16,8 @@
 //	POST /v1/snapshot?tenant=NAME   register a snapshot (body = bytes)
 //	GET  /v1/stats                  build info + per-tenant statistics
 //	GET  /metrics                   Prometheus metrics
+//	GET  /debug/ccprof?tenant=NAME  live context profile (pprof/folded/tree)
+//	GET  /debug/vars                metrics as JSON, with quantile snapshots
 package server
 
 import (
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"dacce/internal/buildinfo"
+	"dacce/internal/ccprof"
 	"dacce/internal/core"
 	"dacce/internal/persist"
 	"dacce/internal/prog"
@@ -76,6 +79,12 @@ type tenant struct {
 	st  *core.EncoderState
 	raw []byte
 
+	// prof aggregates every context this tenant decodes into a live
+	// calling-context profile, served from /debug/ccprof. profShard
+	// spreads concurrent requests across accumulation shards.
+	prof      *ccprof.Streaming
+	profShard atomic.Int64
+
 	// slots is the concurrency cap: a request holds one slot for the
 	// duration of its decode work.
 	slots chan struct{}
@@ -99,12 +108,18 @@ type Server struct {
 	inflight atomic.Int64
 	mux      *http.ServeMux
 
-	mRequests func(endpoint, code string) *telemetry.Counter
-	mLatency  *telemetry.Histogram
-	mDecoded  *telemetry.Counter
-	mErrors   *telemetry.Counter
-	mRejected *telemetry.Counter
-	mInflight *telemetry.Gauge
+	// httpInflight counts requests inside the handler on any route
+	// (inflight counts only decode requests holding a slot).
+	httpInflight atomic.Int64
+
+	mRequests     func(endpoint, code string) *telemetry.Counter
+	mReqDuration  func(route string) *telemetry.Histogram
+	mLatency      *telemetry.Histogram
+	mDecoded      *telemetry.Counter
+	mErrors       *telemetry.Counter
+	mRejected     *telemetry.Counter
+	mInflight     *telemetry.Gauge
+	mHTTPInflight *telemetry.Gauge
 }
 
 // New creates a Server.
@@ -123,14 +138,20 @@ func New(cfg Config) *Server {
 	reg.Help("dacced_rejected_total", "Requests rejected by backpressure (429)")
 	reg.Help("dacced_inflight", "Decode requests currently holding a slot")
 	reg.Help("dacced_queue_depth", "Requests waiting for a tenant slot")
+	reg.Help("dacced_request_duration_ns", "Wall time per HTTP request by route (ns)")
+	reg.Help("dacced_http_inflight", "HTTP requests currently in the handler, any route")
 	s.mRequests = func(endpoint, code string) *telemetry.Counter {
 		return reg.Counter("dacced_requests_total", "endpoint", endpoint, "code", code)
+	}
+	s.mReqDuration = func(route string) *telemetry.Histogram {
+		return reg.Histogram("dacced_request_duration_ns", telemetry.DurationBuckets(), "route", route)
 	}
 	s.mLatency = reg.Histogram("dacced_decode_latency_us", telemetry.ExpBuckets(10, 4, 10))
 	s.mDecoded = reg.Counter("dacced_contexts_decoded_total")
 	s.mErrors = reg.Counter("dacced_decode_errors_total")
 	s.mRejected = reg.Counter("dacced_rejected_total")
 	s.mInflight = reg.Gauge("dacced_inflight")
+	s.mHTTPInflight = reg.Gauge("dacced_http_inflight")
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -138,11 +159,44 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/ccprof", s.handleCcprof)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// routeLabel normalizes a request path to a bounded metric label — the
+// fixed route set, or "other" — so arbitrary client paths can't explode
+// the label space.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/v1/decode", "/v1/snapshot", "/v1/stats", "/metrics",
+		"/debug/ccprof", "/debug/vars":
+		return path
+	}
+	return "other"
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped in
+// timing middleware that feeds the per-route request-duration histogram
+// and the whole-server in-flight gauge.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mHTTPInflight.Set(s.httpInflight.Add(1))
+		start := time.Now()
+		defer func() {
+			s.mReqDuration(routeLabel(r.URL.Path)).ObserveDuration(time.Since(start))
+			s.mHTTPInflight.Set(s.httpInflight.Add(-1))
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// DecodeLatency returns the decode-request latency histogram (µs) — the
+// source for dacced's decode-p99 SLO rule.
+func (s *Server) DecodeLatency() *telemetry.Histogram { return s.mLatency }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
 
 // Register installs a snapshot under the given program name and returns
 // the tenant's content hash. Registering the same bytes twice is
@@ -168,6 +222,7 @@ func (s *Server) Register(name string, data []byte) (string, error) {
 		dec:   dec,
 		st:    st,
 		raw:   data,
+		prof:  ccprof.NewStreaming(dec.P),
 		slots: make(chan struct{}, s.cfg.MaxConcurrent),
 	}
 	s.mu.Lock()
@@ -351,6 +406,10 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	t.requests.Add(1)
+	// Each request accumulates into one profiler shard for its whole
+	// batch; round-robin over the slot count keeps concurrent requests
+	// off each other's shard locks.
+	shard := int(t.profShard.Add(1)-1) % s.cfg.MaxConcurrent
 	resp := DecodeResponse{
 		Tenant:  t.name,
 		Hash:    t.hash,
@@ -363,6 +422,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		} else if ctx, err := t.dec.Decode(c); err != nil {
 			res.Error = err.Error()
 		} else {
+			t.prof.ObserveContext(shard, ctx)
 			res.Frames = make([]Frame, 0, len(ctx))
 			for _, f := range ctx {
 				res.Frames = append(res.Frames, Frame{
@@ -458,4 +518,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.count("metrics", http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.cfg.Registry.WritePrometheus(w)
+}
+
+// handleCcprof serves a tenant's live context profile. With one tenant
+// registered the tenant parameter may be omitted; formats follow
+// ccprof.Streaming.Handler (pprof protobuf, ?format=folded, ?format=tree).
+func (s *Server) handleCcprof(w http.ResponseWriter, r *http.Request) {
+	const ep = "ccprof"
+	ref := r.URL.Query().Get("tenant")
+	var t *tenant
+	if ref == "" {
+		s.mu.RLock()
+		if len(s.tenants) == 1 {
+			for _, only := range s.tenants {
+				t = only
+			}
+		}
+		n := len(s.tenants)
+		s.mu.RUnlock()
+		if t == nil {
+			s.writeError(w, ep, http.StatusBadRequest,
+				"tenant parameter required (%d tenants registered)", n)
+			return
+		}
+	} else if t = s.resolve(ref); t == nil {
+		s.writeError(w, ep, http.StatusNotFound, "unknown tenant %q", ref)
+		return
+	}
+	s.count(ep, http.StatusOK)
+	t.prof.Handler().ServeHTTP(w, r)
+}
+
+// handleVars serves every registered metric as JSON, histograms with
+// their quantile snapshots — the machine-readable twin of /metrics.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	s.count("vars", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Registry.WriteJSON(w)
 }

@@ -19,9 +19,10 @@ type flightRec struct {
 
 // FlightRecorder is a Sink keeping the last N events in a ring buffer —
 // a crash-dump view of what the encoder was doing. When it sees an
-// EvIDOverflow, an EvDivergence, or a failed EvDecodeRequest it
-// automatically dumps the ring to its output writer, giving the events
-// leading up to the failure without recording the whole run.
+// EvIDOverflow, an EvDivergence, an EvSLOBreach, or a failed
+// EvDecodeRequest it automatically dumps the ring to its output writer,
+// giving the events leading up to the failure without recording the
+// whole run.
 type FlightRecorder struct {
 	mu    sync.Mutex
 	start time.Time
@@ -51,7 +52,7 @@ func (f *FlightRecorder) Emit(ev Event) {
 		f.n++
 	}
 	trigger := ev.Kind == EvIDOverflow || ev.Kind == EvDivergence ||
-		(ev.Kind == EvDecodeRequest && ev.Err)
+		ev.Kind == EvSLOBreach || (ev.Kind == EvDecodeRequest && ev.Err)
 	out := f.out
 	f.mu.Unlock()
 	if trigger && out != nil {
@@ -88,6 +89,7 @@ type flightLine struct {
 	Err      bool   `json:"err,omitempty"`
 	Value    uint64 `json:"value,omitempty"`
 	Aux      uint64 `json:"aux,omitempty"`
+	DurNS    int64  `json:"dur_ns,omitempty"`
 }
 
 // Dump writes the ring's events, oldest first, as JSON lines framed by
@@ -118,6 +120,7 @@ func (f *FlightRecorder) Dump(w io.Writer) error {
 			Err:      r.Ev.Err,
 			Value:    r.Ev.Value,
 			Aux:      r.Ev.Aux,
+			DurNS:    r.Ev.DurNanos,
 		}
 		if r.Ev.Reason != ReasonNone {
 			line.Reason = r.Ev.Reason.String()

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. The zero value is
@@ -47,12 +49,24 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram is a bounded cumulative histogram: observations are counted
 // into len(bounds)+1 buckets where bucket i holds observations ≤
 // bounds[i] (the last bucket is +Inf). Bounds are fixed at creation, so
-// observation is lock-free.
+// observation is lock-free and allocation-free.
 type Histogram struct {
 	bounds  []int64
 	buckets []atomic.Int64 // len(bounds)+1; cumulative at exposition
 	sum     atomic.Int64
 	count   atomic.Int64
+	max     atomic.Int64 // exact largest observation (quantile tail anchor)
+}
+
+// NewHistogram returns a standalone histogram with the given bucket
+// bounds (copied, sorted) — for always-on runtime timers that exist
+// independently of any Registry.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	h := &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	h.max.Store(math.MinInt64)
+	return h
 }
 
 // Observe records one observation.
@@ -61,13 +75,114 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
 }
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation, or 0 before any observation.
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	if m := h.max.Load(); m != math.MinInt64 {
+		return m
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts:
+// the crossing bucket is found on the cumulative distribution and the
+// value is linearly interpolated inside it. Estimates are capped at the
+// exact tracked maximum — interpolation inside a sparsely filled bucket
+// would otherwise report a value no observation ever reached — so
+// Quantile(1) is exact. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo, hi := h.bucketRange(i)
+			frac := (rank - float64(cum)) / float64(n)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if m := h.Max(); v > m {
+				v = m
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// bucketRange returns the interpolation interval of bucket i, clamping
+// the open-ended ends to observed reality: the first bucket starts at 0
+// (or its bound for negative-free data) and the +Inf bucket ends at the
+// tracked maximum.
+func (h *Histogram) bucketRange(i int) (lo, hi int64) {
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	if i < len(h.bounds) {
+		hi = h.bounds[i]
+	} else {
+		hi = h.Max()
+		if hi < lo {
+			hi = lo
+		}
+	}
+	return lo, hi
+}
+
+// HistSnapshot is a point-in-time quantile summary of a histogram.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot estimates p50/p90/p99 from the bucket counts and reports the
+// exact maximum. The quantiles are interpolated within the crossing
+// bucket, so their error is bounded by the bucket width.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
 
 // ExpBuckets returns bounds start, start*factor, ... (n values), the
 // usual shape for depth and cost histograms.
@@ -80,6 +195,12 @@ func ExpBuckets(start, factor int64, n int) []int64 {
 	}
 	return out
 }
+
+// DurationBuckets returns the standard log-spaced nanosecond bounds for
+// latency histograms: 256ns … ~2.1s, doubling. Wide enough to hold an
+// encoded-call-scale event at the bottom and a pathological
+// stop-the-world pause at the top.
+func DurationBuckets() []int64 { return ExpBuckets(1<<8, 2, 24) }
 
 // metricKey identifies one metric instance: a family name plus an
 // already-rendered label suffix (`{k="v",...}` or empty).
@@ -166,9 +287,7 @@ func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *His
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
-		b := append([]int64(nil), bounds...)
-		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		h = NewHistogram(bounds)
 		r.hists[k] = h
 	}
 	return h
@@ -224,6 +343,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			return fmt.Sprintf(`{%s,le="%s"}`, inner, bound)
 		}
+		// _count is emitted from the same cumulative walk as the +Inf
+		// bucket: promtext requires them equal, and reading the separate
+		// count atomic could transiently disagree under concurrent
+		// observation.
 		var cum int64
 		for i, bound := range h.bounds {
 			cum += h.buckets[i].Load()
@@ -232,18 +355,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum += h.buckets[len(h.bounds)].Load()
 		fmt.Fprintf(&b, "%s_bucket%s %d\n", k.name, le("+Inf"), cum)
 		fmt.Fprintf(&b, "%s_sum%s %d\n", k.name, k.labels, h.Sum())
-		fmt.Fprintf(&b, "%s_count%s %d\n", k.name, k.labels, h.Count())
+		fmt.Fprintf(&b, "%s_count%s %d\n", k.name, k.labels, cum)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// jsonHistogram is the JSON shape of one histogram.
+// jsonHistogram is the JSON shape of one histogram: raw buckets for
+// re-aggregation plus the quantile snapshot for direct reading.
 type jsonHistogram struct {
-	Bounds  []int64 `json:"bounds"`
-	Buckets []int64 `json:"buckets"` // non-cumulative; len(bounds)+1
-	Sum     int64   `json:"sum"`
-	Count   int64   `json:"count"`
+	Bounds     []int64 `json:"bounds"`
+	Buckets    []int64 `json:"buckets"`    // non-cumulative; len(bounds)+1
+	Cumulative []int64 `json:"cumulative"` // Prometheus-style running totals
+	Sum        int64   `json:"sum"`
+	Count      int64   `json:"count"`
+	P50        int64   `json:"p50"`
+	P90        int64   `json:"p90"`
+	P99        int64   `json:"p99"`
+	Max        int64   `json:"max"`
 }
 
 // WriteJSON renders the registry as a single JSON object with
@@ -262,12 +391,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	hists := map[string]jsonHistogram{}
 	for k, h := range r.hists {
+		snap := h.Snapshot()
 		jh := jsonHistogram{
 			Bounds: append([]int64(nil), h.bounds...),
-			Sum:    h.Sum(), Count: h.Count(),
+			Sum:    snap.Sum, Count: snap.Count,
+			P50: snap.P50, P90: snap.P90, P99: snap.P99, Max: snap.Max,
 		}
+		var cum int64
 		for i := range h.buckets {
-			jh.Buckets = append(jh.Buckets, h.buckets[i].Load())
+			n := h.buckets[i].Load()
+			cum += n
+			jh.Buckets = append(jh.Buckets, n)
+			jh.Cumulative = append(jh.Cumulative, cum)
 		}
 		hists[k.name+k.labels] = jh
 	}

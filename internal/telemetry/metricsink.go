@@ -39,6 +39,12 @@ type Metrics struct {
 	exited     *Counter
 	samples    *Counter
 	divergence *Counter
+	sloBreach  *Counter
+
+	pauseNs  *Histogram
+	trapNs   *Histogram
+	decodeNs *Histogram
+	sampleNs *Histogram
 
 	epoch  *Gauge
 	maxID  *Gauge
@@ -68,6 +74,11 @@ func NewMetrics() *Metrics {
 		exited:     reg.Counter("dacce_threads_exited_total"),
 		samples:    reg.Counter("dacce_samples_total"),
 		divergence: reg.Counter("dacce_divergences_total"),
+		sloBreach:  reg.Counter("dacce_slo_breach_total"),
+		pauseNs:    reg.Histogram("dacce_reencode_pause_ns", DurationBuckets()),
+		trapNs:     reg.Histogram("dacce_trap_latency_ns", DurationBuckets()),
+		decodeNs:   reg.Histogram("dacce_decode_latency_ns", DurationBuckets()),
+		sampleNs:   reg.Histogram("dacce_sample_latency_ns", DurationBuckets()),
 		epoch:      reg.Gauge("dacce_epoch"),
 		maxID:      reg.Gauge("dacce_max_id"),
 		budget:     reg.Gauge("dacce_id_budget"),
@@ -86,6 +97,11 @@ func NewMetrics() *Metrics {
 	reg.Help("dacce_max_id", "Maximum context id of the current epoch.")
 	reg.Help("dacce_id_budget", "Configured context-id budget.")
 	reg.Help("dacce_divergences_total", "Cross-encoder divergences found by the differential checker.")
+	reg.Help("dacce_slo_breach_total", "SLO watchdog rules found over threshold.")
+	reg.Help("dacce_reencode_pause_ns", "Stop-the-world pause of each re-encoding pass (wall ns).")
+	reg.Help("dacce_trap_latency_ns", "Runtime-handler trap latency (wall ns).")
+	reg.Help("dacce_decode_latency_ns", "External decode-request latency (wall ns).")
+	reg.Help("dacce_sample_latency_ns", "Sampling-controller latency per sample (wall ns).")
 	return m
 }
 
@@ -109,6 +125,9 @@ func (m *Metrics) Emit(ev Event) {
 		m.cost.Observe(int64(ev.Value))
 		m.epoch.Set(int64(ev.Epoch))
 		m.maxID.SetUint(ev.Aux)
+		if ev.DurNanos > 0 {
+			m.pauseNs.Observe(ev.DurNanos)
+		}
 	case EvCCStackPush:
 		m.push.Inc()
 		m.depth.Observe(int64(ev.Value))
@@ -122,6 +141,9 @@ func (m *Metrics) Emit(ev Event) {
 		m.fixups.Inc()
 	case EvHandlerTrap:
 		m.traps.Inc()
+		if ev.DurNanos > 0 {
+			m.trapNs.Observe(ev.DurNanos)
+		}
 		m.siteMu.Lock()
 		if _, ok := m.siteHits[ev.Site]; ok || len(m.siteHits) < maxTrackedSites {
 			m.siteHits[ev.Site]++
@@ -133,14 +155,22 @@ func (m *Metrics) Emit(ev Event) {
 		} else {
 			m.decodeOK.Inc()
 		}
+		if ev.DurNanos > 0 {
+			m.decodeNs.Observe(ev.DurNanos)
+		}
 	case EvThreadStart:
 		m.started.Inc()
 	case EvThreadExit:
 		m.exited.Inc()
 	case EvSample:
 		m.samples.Inc()
+		if ev.DurNanos > 0 {
+			m.sampleNs.Observe(ev.DurNanos)
+		}
 	case EvDivergence:
 		m.divergence.Inc()
+	case EvSLOBreach:
+		m.sloBreach.Inc()
 	}
 }
 

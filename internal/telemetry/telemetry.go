@@ -82,6 +82,11 @@ const (
 	// always set (a divergence is a failure), and Aux distinguishes the
 	// checker-specific divergence class.
 	EvDivergence
+	// EvSLOBreach: an SLO watchdog rule found its source over threshold.
+	// Value is the observed value, Aux the configured maximum, Err is
+	// always set (a breach is a failure). A FlightRecorder auto-dumps on
+	// it, so the events leading up to the breach are preserved.
+	EvSLOBreach
 
 	// NumKinds is the number of event kinds (for per-kind tables).
 	NumKinds
@@ -103,6 +108,7 @@ var kindNames = [NumKinds]string{
 	EvThreadExit:       "thread_exit",
 	EvSample:           "sample",
 	EvDivergence:       "divergence",
+	EvSLOBreach:        "slo_breach",
 }
 
 // String returns the kind's snake_case name.
@@ -172,6 +178,12 @@ type Event struct {
 	// Value and Aux carry kind-specific quantities.
 	Value uint64
 	Aux   uint64
+	// DurNanos is the wall-clock duration of the work the event
+	// describes, in nanoseconds, or 0 when the producer does not time
+	// it: re-encoding pause for EvReencodeEnd, handler latency for
+	// EvHandlerTrap, decode latency for EvDecodeRequest, and sampling
+	// controller latency for EvSample (set by machine.Instrument).
+	DurNanos int64
 }
 
 func (e Event) String() string {
@@ -188,7 +200,11 @@ func (e Event) String() string {
 	if e.Err {
 		s += " err"
 	}
-	return fmt.Sprintf("%s v=%d a=%d", s, e.Value, e.Aux)
+	s = fmt.Sprintf("%s v=%d a=%d", s, e.Value, e.Aux)
+	if e.DurNanos != 0 {
+		s += fmt.Sprintf(" dur=%dns", e.DurNanos)
+	}
+	return s
 }
 
 // Sink consumes the event stream. Implementations must be safe for

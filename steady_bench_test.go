@@ -15,9 +15,11 @@ import (
 	"testing"
 
 	"dacce"
+	"dacce/internal/ccprof"
 	"dacce/internal/core"
 	"dacce/internal/experiments"
 	"dacce/internal/machine"
+	"dacce/internal/prog"
 )
 
 // steadyFixture is a warmed single-thread machine parked at
@@ -35,6 +37,13 @@ type steadyFixture struct {
 }
 
 func newSteadyFixture(tb testing.TB) *steadyFixture {
+	return newSteadyFixtureOpts(tb, func(*prog.Program) core.Options { return core.Options{} })
+}
+
+// newSteadyFixtureOpts builds the fixture with caller-chosen encoder
+// options; the callback sees the built program so options can hold
+// program-derived state (the streaming profiler, say).
+func newSteadyFixtureOpts(tb testing.TB, opts func(*prog.Program) core.Options) *steadyFixture {
 	tb.Helper()
 	bld := dacce.NewBuilder()
 	mainF := bld.Func("main")
@@ -51,7 +60,7 @@ func newSteadyFixture(tb testing.TB) *steadyFixture {
 		<-f.stop
 	})
 	p := bld.MustBuild()
-	f.d = core.New(p, core.Options{})
+	f.d = core.New(p, opts(p))
 	// Sampling off: the fixture's users sample by hand; Maintain still
 	// runs on its default period and must stay allocation-free too.
 	m := machine.New(p, f.d, machine.Config{})
@@ -112,6 +121,67 @@ func TestOnSampleNoAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(1000, f.sampleOnce); avg != 0 {
 		t.Fatalf("steady-state sampling allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// newProfiledFixture is the steady fixture with the always-on streaming
+// profiler attached as the encoder's context observer.
+func newProfiledFixture(tb testing.TB) (*steadyFixture, *ccprof.Streaming) {
+	var s *ccprof.Streaming
+	f := newSteadyFixtureOpts(tb, func(p *prog.Program) core.Options {
+		s = ccprof.NewStreaming(p)
+		return core.Options{ContextObserver: s}
+	})
+	return f, s
+}
+
+// TestEncodedFastPathNoAllocsProfiled re-runs the fast-path gate with
+// the streaming profiler attached: the observer rides the sample path
+// only, so the encoded call must be bit-for-bit as free as without it.
+func TestEncodedFastPathNoAllocsProfiled(t *testing.T) {
+	f, _ := newProfiledFixture(t)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.encodedCall()
+	}
+	if avg := testing.AllocsPerRun(1000, f.encodedCall); avg != 0 {
+		t.Fatalf("encoded call with profiler allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestOnSampleNoAllocsProfiled gates the always-on profiler's headline
+// claim: streaming context aggregation adds zero allocations to the
+// steady-state sampling path once its shard tree is warm.
+func TestOnSampleNoAllocsProfiled(t *testing.T) {
+	f, s := newProfiledFixture(t)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.sampleOnce()
+	}
+	if avg := testing.AllocsPerRun(1000, f.sampleOnce); avg != 0 {
+		t.Fatalf("sampling with streaming profiler allocates %v allocs/op, want 0", avg)
+	}
+	if s.Observed() == 0 {
+		t.Fatal("profiler observed nothing — the gate proved the wrong path")
+	}
+	if got := s.Total(); got != s.Observed() {
+		t.Fatalf("merged total %d != observed %d", got, s.Observed())
+	}
+}
+
+// BenchmarkOnSampleProfiled measures the sampling path with the
+// streaming profiler attached — the delta against BenchmarkOnSample is
+// the profiler's per-sample cost.
+func BenchmarkOnSampleProfiled(b *testing.B) {
+	f, _ := newProfiledFixture(b)
+	defer f.close()
+	for i := 0; i < 64; i++ {
+		f.sampleOnce()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sampleOnce()
 	}
 }
 
