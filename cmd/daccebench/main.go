@@ -7,6 +7,7 @@
 //	daccebench steady [-threads 1,2,4,8] [-compare]   steady-state scalability suite
 //	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
 //	daccebench obs    [-threads 1,2,4]                observability-overhead suite
+//	daccebench adversarial [-targets 2,16,1024]       adversarial-workload suite
 //	daccebench all    [-calls N]                      everything
 //
 // Every subcommand accepts -cpuprofile/-memprofile (pprof output) and
@@ -66,6 +67,8 @@ func run() int {
 	noReplay := fs.Bool("no-replay", false, "warmup: skip the warm-start replay rows")
 	ccprofOut := fs.String("ccprof-out", "", "steady: write the streaming context profile to this file (pprof protobuf; folded text for .folded names)")
 	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3)")
+	targets := fs.String("targets", "", "adversarial: comma-separated mega-indirect target counts (default 2,4,8,16,64,256,1024)")
+	depth := fs.Int("depth", 0, "adversarial: recursion-torture depth (default 100000)")
 	_ = fs.Parse(os.Args[2:])
 
 	if *version || cmd == "-version" || cmd == "version" {
@@ -153,6 +156,8 @@ func run() int {
 		err = runWarmup(*threadsFlag, *calls, *sample, *compare, *noReplay, *benchJSON)
 	case "obs":
 		err = runObs(*threadsFlag, *calls, *sample, *reps, *benchJSON)
+	case "adversarial":
+		err = runAdversarial(*targets, *threadsFlag, *calls, *sample, *depth, *benchJSON)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -344,6 +349,74 @@ func runObs(threadsCSV string, callsPerThread, sampleEvery int64, reps int, json
 	return nil
 }
 
+// runAdversarial drives the adversarial-workload suite — the
+// inline-chain-vs-hash dispatch crossover sweep, the 64-thread module
+// churn run, and the recursion-torture decode-latency probe — and
+// renders a summary; -bench-json additionally writes the full report in
+// the BENCH_adversarial.json format.
+func runAdversarial(targetsCSV, threadsCSV string, calls, sampleEvery int64, depth int, jsonOut string) error {
+	cfg := experiments.AdversarialConfig{
+		CrossoverCalls: calls,
+		TortureDepth:   depth,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// adversarial suite has its own default (64).
+	if sampleEvery != 256 {
+		cfg.SampleEvery = sampleEvery
+	}
+	var err error
+	if cfg.Targets, err = parseThreads(targetsCSV, cfg.Targets); err != nil {
+		return fmt.Errorf("bad -targets list: %w", err)
+	}
+	// -threads picks the churn leg's thread count (first value wins).
+	churn, err := parseThreads(threadsCSV, nil)
+	if err != nil {
+		return err
+	}
+	if len(churn) > 0 {
+		cfg.ChurnThreads = churn[0]
+	}
+	rep, err := experiments.Adversarial(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Adversarial workloads (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
+	fmt.Println("## Mega-indirect dispatch: inline chain vs hash")
+	fmt.Printf("%-8s %-6s %12s %14s %12s %16s %8s\n",
+		"targets", "mode", "calls", "compares/call", "probes/call", "instr-cost/call", "traps")
+	for _, r := range rep.Crossover {
+		fmt.Printf("%-8d %-6s %12d %14.3f %12.3f %16.3f %8d\n",
+			r.Targets, r.Mode, r.Calls, r.ComparesPerCall, r.ProbesPerCall, r.InstrCostPerCall, r.HandlerTraps)
+	}
+	if rep.CrossoverTargets > 0 {
+		fmt.Printf("crossover: hash dispatch wins from %d targets\n", rep.CrossoverTargets)
+	} else {
+		fmt.Println("crossover: inline chain won at every swept fan-out")
+	}
+	c := rep.Churn
+	fmt.Printf("## Module churn @ %d threads: %d loads, %d unloads, %d threads total, %d traps (%.0f traps/s), %d epochs, pause p50/p99/max %.1f/%.1f/%.1fus\n",
+		c.Threads, c.ModuleLoads, c.ModuleUnloads, c.SpawnedTotal, c.HandlerTraps, c.TrapsPerSec,
+		c.Epochs, c.PauseP50Us, c.PauseP99Us, c.PauseMaxUs)
+	tr := rep.Torture
+	fmt.Printf("## Recursion torture @ depth %d: max sampled depth %d, ccStack max %d, %d decodes (p50/p99/max %.1f/%.1f/%.1fus), %d mismatches\n",
+		tr.Depth, tr.MaxDepth, tr.CcStackMax, tr.Decodes, tr.DecodeP50Us, tr.DecodeP99Us, tr.DecodeMaxUs, tr.Mismatches)
+	if tr.Mismatches > 0 {
+		return fmt.Errorf("adversarial: %d torture decodes disagreed with the shadow stack", tr.Mismatches)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "adversarial report written to", jsonOut)
+	}
+	return nil
+}
+
 // parseThreads parses a -threads CSV, returning def untouched when the
 // flag was not given.
 func parseThreads(csv string, def []int) ([]int, error) {
@@ -362,7 +435,7 @@ func parseThreads(csv string, def []int) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|adversarial|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-targets 2,16,1024] [-depth N] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -45,6 +45,7 @@ func main() {
 	sample := flag.Int64("sample", 0, "override the query density (context query every n calls per thread)")
 	forceEpoch := flag.Int64("force-epoch", -1, "override forced re-encoding period in samples (0 disables forcing)")
 	mutate := flag.String("mutate", "", "inject a fault into a scratch DACCE wrapper: skew-id|drop-repetition|stale-epoch")
+	incremental := flag.Bool("incremental", false, "run the DACCE replays with incremental (subgraph) re-encoding and require at least one incremental pass across the sweep")
 	shrink := flag.Bool("shrink", false, "delta-debug the first failing spec to a minimal reproducer")
 	shrinkBudget := flag.Int("shrink-budget", 150, "max harness runs the shrinker may spend")
 	saveSpec := flag.String("save-spec", "", "write the first failing spec (shrunk when -shrink) to this JSON file")
@@ -83,6 +84,7 @@ func main() {
 		sample: *sample, forceEpoch: *forceEpoch, mutate: *mutate,
 		shrink: *shrink, shrinkBudget: *shrinkBudget, saveSpec: *saveSpec,
 		stress: *stress, stressForcers: *stressForcers, jsonOut: *jsonOut,
+		incremental: *incremental,
 	}, opt)
 
 	if mts != nil {
@@ -110,7 +112,7 @@ type runConfig struct {
 	sample, forceEpoch                                 int64
 	shrink                                             bool
 	shrinkBudget, stressForcers                        int
-	stress, jsonOut                                    bool
+	stress, jsonOut, incremental                       bool
 }
 
 // apply folds the command-line overrides into a spec.
@@ -132,6 +134,9 @@ func (cfg *runConfig) apply(spec difftest.Spec) difftest.Spec {
 	}
 	if cfg.mutate != "" {
 		spec.Mutation = cfg.mutate
+	}
+	if cfg.incremental {
+		spec.Incremental = true
 	}
 	return spec
 }
@@ -189,6 +194,7 @@ func runSweep(cfg runConfig, opt difftest.Options) error {
 	// rest of the observability plane uses, so the sweep's tail is
 	// visible without timing every seed by hand.
 	lat := telemetry.NewHistogram(telemetry.DurationBuckets())
+	incrementalPasses := 0
 	for i, spec := range specs {
 		start := time.Now()
 		res, err := difftest.Run(spec, opt)
@@ -202,6 +208,7 @@ func runSweep(cfg runConfig, opt difftest.Options) error {
 			}
 		}
 		totalSamples += res.Samples
+		incrementalPasses += res.IncrementalPasses
 		if res.Epochs > maxEpochs {
 			maxEpochs = res.Epochs
 		}
@@ -234,9 +241,16 @@ func runSweep(cfg runConfig, opt difftest.Options) error {
 		}
 		return fmt.Errorf("divergence on spec %q", spec.Profile.Name)
 	}
+	if cfg.incremental && incrementalPasses == 0 {
+		return fmt.Errorf("-incremental sweep performed no incremental re-encoding passes — the subgraph path never ran")
+	}
 	ls := lat.Snapshot()
-	fmt.Printf("OK: %d specs, %d query points, max %d epochs, 0 divergences (replay p50 %v, p99 %v, max %v)\n",
-		len(specs), totalSamples, maxEpochs,
+	extra := ""
+	if cfg.incremental {
+		extra = fmt.Sprintf(", %d incremental passes", incrementalPasses)
+	}
+	fmt.Printf("OK: %d specs, %d query points, max %d epochs%s, 0 divergences (replay p50 %v, p99 %v, max %v)\n",
+		len(specs), totalSamples, maxEpochs, extra,
 		time.Duration(ls.P50), time.Duration(ls.P99), time.Duration(ls.Max))
 	return nil
 }

@@ -478,6 +478,32 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 	}
 }
 
+// OnModuleLoad implements machine.ModuleObserver. Nothing to do: the
+// module's sites are already trapped — either from Install or from the
+// unload that preceded a reload — so its edges are (re)discovered on
+// first invocation, exactly the paper's §5.1 lazy regime.
+func (d *DACCE) OnModuleLoad(t *machine.Thread, id prog.ModuleID) {}
+
+// OnModuleUnload implements machine.ModuleObserver: dlclose unmaps the
+// module's code, taking the generated stubs in it along. Every call
+// site owned by the module reverts to the runtime-handler trap, so a
+// later reload re-enters discovery (a re-instrumentation storm, by
+// design). The graph and the epoch dictionaries are untouched — they
+// are append-only — so contexts captured while the module was loaded
+// keep decoding against their epoch after it is gone.
+func (d *DACCE) OnModuleUnload(t *machine.Thread, id prog.ModuleID) {
+	m := d.m.Load()
+	if m == nil {
+		return
+	}
+	for i := 0; i < d.p.NumSites(); i++ {
+		sid := prog.SiteID(i)
+		if d.p.Funcs[d.p.Site(sid).Caller].Module == id {
+			m.SetStub(sid, d.trap)
+		}
+	}
+}
+
 // Maintain implements machine.Maintainer: the runtime checks the
 // adaptive triggers periodically even when no handler traps and no
 // sampling happen. The pre-check is a few atomic loads; the mutex is

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+)
+
+// TestUnloadedModuleEpochStillDecodes is the acceptance gate for the
+// dlclose property (ISSUE 7): a context captured while a lazy module
+// was loaded must decode exactly — full frames through the module's
+// functions — after the module has been unloaded and even after later
+// re-encoding passes rebuilt the numbering. Epoch dictionaries are
+// append-only, so the capture's epoch survives the unload untouched.
+func TestUnloadedModuleEpochStillDecodes(t *testing.T) {
+	b := prog.NewBuilder()
+	mod := b.Module("plugin.so", true)
+	mainF := b.Func("main")
+	inA := b.FuncIn("plugA", mod)
+	inB := b.FuncIn("plugB", mod)
+	gate := b.CallSite(mainF, inA)
+	ab := b.CallSite(inA, inB)
+	other := b.Func("other")
+	after := b.CallSite(mainF, other)
+	b.Leaf(other, 1)
+	b.Body(inA, func(x prog.Exec) {
+		x.Work(1)
+		x.Call(ab, prog.NoFunc)
+	})
+	b.Leaf(inB, 1)
+
+	var d *DACCE
+	var inModule []any    // captures taken with plugin frames live
+	var afterUnload []any // captures taken after dlclose + re-encoding
+	b.Body(mainF, func(x prog.Exec) {
+		x.LoadModule(mod)
+		for i := 0; i < 6; i++ {
+			x.Call(gate, prog.NoFunc)
+		}
+		x.UnloadModule(mod)
+		// Re-encode after the unload so later captures come from a
+		// newer epoch than the in-module ones.
+		x.Call(after, prog.NoFunc)
+		for i := 0; i < 4; i++ {
+			x.Call(after, prog.NoFunc)
+		}
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d = New(p, Options{})
+	sch := &captureTap{DACCE: d, inB: inB, mainF: mainF, inModule: &inModule, after: &afterUnload}
+	m := machine.New(p, sch, machine.Config{SampleEvery: 1})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(inModule) == 0 {
+		t.Fatal("no captures taken inside the module window")
+	}
+	var sawModuleFrame bool
+	for i, s := range rs.Samples {
+		c, ok := s.Capture.(*Capture)
+		if !ok {
+			continue
+		}
+		ctx, err := d.Decode(c)
+		if err != nil {
+			t.Fatalf("sample %d: decode after unload: %v", i, err)
+		}
+		want := ShadowContext(nil, s.Shadow)
+		if msg := DiffContexts(ctx, want); msg != "" {
+			t.Fatalf("sample %d: %s", i, msg)
+		}
+		for _, f := range ctx {
+			if f.Fn == inA || f.Fn == inB {
+				sawModuleFrame = true
+			}
+		}
+	}
+	if !sawModuleFrame {
+		t.Fatal("no decoded context contained a frame of the unloaded module")
+	}
+}
+
+// captureTap passes the DACCE surface through unchanged; it only sorts
+// sampled captures into before/after buckets for the test.
+type captureTap struct {
+	*DACCE
+	inB, mainF prog.FuncID
+	inModule   *[]any
+	after      *[]any
+}
+
+func (ct *captureTap) OnSample(t *machine.Thread, capture any) {
+	ct.DACCE.OnSample(t, capture)
+	if t.FrameInModule(1) {
+		*ct.inModule = append(*ct.inModule, capture)
+	} else {
+		*ct.after = append(*ct.after, capture)
+	}
+}

@@ -272,8 +272,13 @@ func (d *DACCE) triggersFired() bool {
 
 // translateThreadLocked replays a thread's shadow stack under the
 // current assignment, rebuilding its TLS (id and ccStack) and rewriting
-// the epilogue cookie of every active frame. Must run with the world
-// stopped and d.mu held. The replay applies exactly the semantics the
+// the epilogue cookie of every active frame. Runs either with the world
+// stopped and d.mu held (re-encoding passes, tail fix-ups), or under
+// d.mu by a thread translating itself mid-call (the tail-frame
+// self-heal): the replay reads only the published snapshot and the
+// lock-free graph shards, and writes only the thread's own TLS and
+// frames, which nothing else can touch while their owner is
+// off-safepoint. The replay applies exactly the semantics the
 // regenerated stubs will apply, so subsequent epilogues unwind the new
 // state consistently.
 func (d *DACCE) translateThreadLocked(t *machine.Thread) {
@@ -293,6 +298,55 @@ func (d *DACCE) translateThreadLocked(t *machine.Thread) {
 			f.EpiStub = d.epi
 		}
 	}
+}
+
+// healTailFrame re-translates the calling thread's own active frames
+// when a tail call is about to execute under an enclosing frame that
+// predates its caller's tail-set membership. Tail discovery publishes
+// the tail bit and patches the tail site from the discovering trap, but
+// the in-edge save-wraps and the frame rewrites happen in a
+// stop-the-world fix-up that other threads can outrun: returns are not
+// safepoints, so a thread already past a stale (non-save) in-edge stub
+// would push the tail entry and unwind through an epilogue that cannot
+// retract it, leaking the entry into its root state for good. Replaying
+// the thread's own shadow stack rewrites the nearest non-tail enclosing
+// frame to a TcStack save before the push can escape. Steady state pays
+// one frame peek per tail call: once the in-edge stubs are rebuilt,
+// every new enclosing frame already carries the save cookie.
+func (d *DACCE) healTailFrame(t *machine.Thread) {
+	if !d.tailFrameStale(t) {
+		return
+	}
+	d.mu.Lock()
+	d.translateThreadLocked(t)
+	d.stats.TailHeals++
+	d.mu.Unlock()
+}
+
+// healTailFrameLocked is healTailFrame for callers already holding d.mu
+// (the serialized trap path).
+func (d *DACCE) healTailFrameLocked(t *machine.Thread) {
+	if !d.tailFrameStale(t) {
+		return
+	}
+	d.translateThreadLocked(t)
+	d.stats.TailHeals++
+}
+
+// tailFrameStale reports whether the thread's nearest non-tail active
+// frame lacks the TcStack save cookie a tail call below it relies on
+// for cleanup. The root frame (index 0) has no cookie and never
+// returns mid-run, so a tail call directly under the root needs no
+// save.
+func (d *DACCE) tailFrameStale(t *machine.Thread) bool {
+	if t == nil {
+		return false
+	}
+	i := t.Depth() - 1
+	for i > 0 && t.FrameAt(i).Tail {
+		i--
+	}
+	return i > 0 && t.FrameAt(i).Cook.Tag != tagSave
 }
 
 // tailFixup runs when fn is first discovered to contain a tail call

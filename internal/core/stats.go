@@ -36,6 +36,10 @@ type Stats struct {
 	EdgesDiscovered int
 	// TailFixups counts functions discovered to contain tail calls.
 	TailFixups int
+	// TailHeals counts threads that re-translated their own frames on
+	// executing a tail call under a stale (pre-tail-discovery)
+	// enclosing frame.
+	TailHeals int
 	// IncrementalPasses counts re-encodings served by the incremental
 	// renumbering (Options.Incremental).
 	IncrementalPasses int

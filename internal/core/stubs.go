@@ -259,20 +259,25 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	e, isNew := d.g.DiscoverEdge(s.ID, target)
 	atomic.AddInt64(&e.Freq, 1)
 	edgesDiscovered := d.edgesDiscovered.Load()
+	if s.Kind.IsTail() && !d.cur().tail[s.Caller] {
+		// Tail-set publication is a snapshot swap, so it stays under
+		// d.mu (rare: once per tail-containing caller). Checked outside
+		// isNew: a thread racing the discoverer can observe the edge
+		// before the discoverer publishes the tail bit, and must not
+		// proceed to the push below while the bit is still unset — the
+		// tail-frame self-heal relies on the bit to save-wrap the
+		// enclosing frame.
+		d.mu.Lock()
+		if snap := d.cur(); !snap.tail[s.Caller] {
+			d.snap.Store(snap.withTailLocked(s.Caller))
+			tailFix = s.Caller
+		}
+		d.mu.Unlock()
+	}
 	if isNew {
 		edgesDiscovered = d.edgesDiscovered.Add(1)
 		d.newEdges.Add(1)
 		d.edgeCount.Add(1)
-		if s.Kind.IsTail() && !d.cur().tail[s.Caller] {
-			// Tail-set publication is a snapshot swap, so it stays under
-			// d.mu (rare: once per tail-containing caller).
-			d.mu.Lock()
-			if snap := d.cur(); !snap.tail[s.Caller] {
-				d.snap.Store(snap.withTailLocked(s.Caller))
-				tailFix = s.Caller
-			}
-			d.mu.Unlock()
-		}
 		d.rebuildSite(s.ID)
 		d.publishDiscovery(t, e)
 	}
@@ -289,6 +294,9 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	// published state (re-read after any pass above; the translation
 	// replays only the shadow stack, which does not yet include this
 	// in-flight frame).
+	if s.Kind.IsTail() {
+		d.healTailFrame(t)
+	}
 	snap := d.cur()
 	st := t.State.(*tls)
 	save := snap.tail[target] && !s.Kind.IsTail()
@@ -313,21 +321,24 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 	e, isNew := d.g.AddEdge(s.ID, target)
 	atomic.AddInt64(&e.Freq, 1)
 	edgesDiscovered := d.edgesDiscovered.Load()
+	if snap := d.cur(); s.Kind.IsTail() && !snap.tail[s.Caller] {
+		d.snap.Store(snap.withTailLocked(s.Caller))
+		tailFix = s.Caller
+	}
 	if isNew {
 		d.newEdges.Add(1)
 		d.edgeCount.Add(1)
 		d.pendingNew = append(d.pendingNew, e)
 		edgesDiscovered = d.edgesDiscovered.Add(1)
-		if snap := d.cur(); s.Kind.IsTail() && !snap.tail[s.Caller] {
-			d.snap.Store(snap.withTailLocked(s.Caller))
-			tailFix = s.Caller
-		}
 		d.rebuildSite(s.ID)
 	}
 
 	if tailFix == prog.NoFunc && !d.triggersFired() {
 		// Steady state: apply the unencoded call under the same
 		// acquisition; the next invocation goes through the patched stub.
+		if s.Kind.IsTail() {
+			d.healTailFrameLocked(t)
+		}
 		snap := d.cur()
 		st := t.State.(*tls)
 		save := snap.tail[target] && !s.Kind.IsTail()
@@ -351,6 +362,9 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 	// Execute this invocation as an unencoded call against the state the
 	// pass above published.
 	d.mu.Lock()
+	if s.Kind.IsTail() {
+		d.healTailFrameLocked(t)
+	}
 	snap := d.cur()
 	st := t.State.(*tls)
 	save := snap.tail[target] && !s.Kind.IsTail()
@@ -443,12 +457,16 @@ type siteStub struct {
 	d      *DACCE
 	site   prog.SiteID
 	markID uint64
+	tail   bool         // the site itself is a tail call
 	direct *edgeAction  // direct call: one known edge
 	inline []edgeAction // indirect, few targets: compare chain (Fig. 3d)
 	hash   *hashTable   // indirect, many targets: one-probe hash (Fig. 4)
 }
 
 func (ss *siteStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID) (machine.Cookie, machine.Stub) {
+	if ss.tail {
+		ss.d.healTailFrame(t)
+	}
 	st := t.State.(*tls)
 	switch {
 	case ss.direct != nil:
@@ -562,7 +580,13 @@ func (d *DACCE) actionFor(e edgeRef) edgeAction {
 		act.code = code.Value
 	case ok && code.Back:
 		act.kind = actRecursive
-		act.compress = snap.compress[edgeKeyOf(ge)] && !act.save
+		// Compression mutates the matched entry in place (Count++), and
+		// the matching decrement runs in this call's own epilogue. A
+		// tail call has no epilogue: its effects are undone wholesale by
+		// the enclosing TcStack restore, which truncates the ccStack but
+		// cannot reverse an in-place increment of an entry below the
+		// save watermark. Tail back edges therefore always push.
+		act.compress = snap.compress[edgeKeyOf(ge)] && !act.save && !s_isTail(d.p, e.site)
 	default:
 		act.kind = actUnencoded
 	}
@@ -622,7 +646,7 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 			return
 		}
 		a := act
-		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, direct: &a})
+		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), direct: &a})
 		return
 	}
 	actions := make([]edgeAction, 0, len(edges))
@@ -630,14 +654,14 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 		actions = append(actions, d.actionFor(edgeRef{sid, e.Target}))
 	}
 	if len(actions) <= d.opt.InlineThreshold {
-		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, inline: actions})
+		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), inline: actions})
 		return
 	}
 	// Plainly encoded targets dispatch through the one-probe hash
 	// (Fig. 4); the rest — and hash conflicts — stay on a compare chain
 	// behind it.
 	h, rest := buildHash(actions)
-	m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, hash: h, inline: rest})
+	m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), hash: h, inline: rest})
 	if !sh.hashed[sid] {
 		sh.hashed[sid] = true
 		if d.sink != nil {

@@ -1,0 +1,156 @@
+package difftest_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dacce/internal/difftest"
+	"dacce/internal/workload"
+)
+
+// advBase is a small profile the per-family specs build on.
+func advBase(seed uint64) workload.Profile {
+	pr := workload.RandomProfile(seed, 55, 33, 21, 2)
+	pr.TotalCalls = 8_000
+	pr.Threads = 2
+	return pr
+}
+
+// TestDiffAdversarialFamilies replays each adversarial family through
+// the full differential oracle and requires complete agreement — the
+// tentpole property of ISSUE 7: module churn, mega-indirect dispatch,
+// recursion torture, and spawn churn all decode identically under
+// every tracker, including across forced epoch boundaries and archived
+// snapshots.
+func TestDiffAdversarialFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*workload.Profile)
+	}{
+		{"module-churn", func(p *workload.Profile) {
+			p.ChurnModules = 2
+			p.ChurnFuncs = 3
+			p.ChurnEvery = 500
+		}},
+		{"mega-indirect", func(p *workload.Profile) {
+			p.MegaSites = 2
+			p.MegaTargets = 96
+		}},
+		{"recursion-torture", func(p *workload.Profile) {
+			p.TortureDepth = 1024
+		}},
+		{"spawn-churn", func(p *workload.Profile) {
+			p.SpawnChurn = 24
+			p.SpawnRate = 0.08
+		}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			pr := advBase(uint64(100 + i))
+			pr.Name = "adv-" + tc.name
+			tc.mut(&pr)
+			spec := difftest.Spec{
+				Profile:         pr,
+				SampleEvery:     5,
+				ForceEpochEvery: 24,
+				SnapshotEvery:   16,
+			}
+			res, err := difftest.Run(spec, difftest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range res.Divergences {
+				t.Errorf("divergence: %s", d)
+			}
+			if res.Dropped > 0 {
+				t.Errorf("%d further divergences dropped", res.Dropped)
+			}
+			if res.Samples == 0 {
+				t.Error("no query points sampled")
+			}
+		})
+	}
+}
+
+// TestDiffIncrementalLeg runs a spec with incremental (subgraph)
+// re-encoding enabled and checks both that the oracle stays silent and
+// that the incremental path actually ran.
+func TestDiffIncrementalLeg(t *testing.T) {
+	pr := advBase(7)
+	pr.Name = "incremental-leg"
+	pr.ChurnModules = 1
+	pr.ChurnEvery = 700
+	spec := difftest.Spec{
+		Profile:         pr,
+		SampleEvery:     5,
+		ForceEpochEvery: 20,
+		Incremental:     true,
+	}
+	res, err := difftest.Run(spec, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %s", d)
+	}
+	if res.IncrementalPasses == 0 {
+		t.Error("incremental leg performed no incremental re-encoding passes")
+	}
+}
+
+// TestDiffAdversarialSeedFile replays the committed adversarial corpus
+// seed (all four families plus the incremental leg in one spec).
+func TestDiffAdversarialSeedFile(t *testing.T) {
+	spec, err := difftest.LoadSpec(filepath.Join("testdata", "adversarial-all.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := difftest.Run(spec, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %s", d)
+	}
+	if res.IncrementalPasses == 0 {
+		t.Error("committed adversarial seed performed no incremental passes")
+	}
+}
+
+// TestShrinkDropsAdversarialFamilies checks the shrinker strips the
+// adversarial knobs from a failing spec when they are irrelevant to
+// the failure (a capture-level mutation reproduces without them).
+func TestShrinkDropsAdversarialFamilies(t *testing.T) {
+	pr := advBase(13)
+	pr.Name = "shrink-adv"
+	pr.ChurnModules = 2
+	pr.MegaSites = 1
+	pr.MegaTargets = 32
+	pr.TortureDepth = 512
+	pr.SpawnChurn = 8
+	pr.SpawnRate = 0.05
+	spec := difftest.Spec{
+		Profile:     pr,
+		SampleEvery: 5,
+		Mutation:    string(difftest.MutSkewID),
+		Encoders:    []string{"dacce"},
+	}
+	res, err := difftest.Run(spec, difftest.Options{MaxDivergences: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged() {
+		t.Fatal("mutated spec did not diverge; shrink test is vacuous")
+	}
+	small, accepted := difftest.Shrink(spec, nil, 120)
+	if accepted == 0 {
+		t.Fatal("shrinker accepted no reductions")
+	}
+	if small.Profile.ChurnModules != 0 || small.Profile.MegaSites != 0 ||
+		small.Profile.TortureDepth != 0 || small.Profile.SpawnChurn != 0 {
+		t.Errorf("adversarial knobs survived shrinking: churn=%d mega=%d torture=%d spawn=%d",
+			small.Profile.ChurnModules, small.Profile.MegaSites,
+			small.Profile.TortureDepth, small.Profile.SpawnChurn)
+	}
+}

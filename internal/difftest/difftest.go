@@ -77,6 +77,11 @@ type Result struct {
 	Dropped       int   `json:"dropped_divergences,omitempty"`
 	PCCCollisions int64 `json:"pcc_collisions"`
 	PCCDistinct   int64 `json:"pcc_distinct"`
+	// IncrementalPasses is how many of the DACCE replay's re-encoding
+	// passes ran as subgraph renumberings (Spec.Incremental runs only;
+	// the gate that blenc.Refresh is actually exercised by the sweep's
+	// incremental leg).
+	IncrementalPasses int `json:"incremental_passes,omitempty"`
 }
 
 // Diverged reports whether any tracker disagreed at any query point.
@@ -100,6 +105,14 @@ func aggressiveOptions(sink telemetry.Sink) core.Options {
 		InlineThreshold:   2,
 		Sink:              sink,
 	}
+}
+
+// dacceOptions folds the spec's encoder knobs into the aggressive
+// harness options (today just the incremental re-encoding leg).
+func dacceOptions(spec Spec, sink telemetry.Sink) core.Options {
+	o := aggressiveOptions(sink)
+	o.Incremental = spec.Incremental
+	return o
 }
 
 // Run executes one full differential check: build the spec's workload,
@@ -155,10 +168,13 @@ func truncateTrace(tr *trace.Trace, max int) {
 	}
 }
 
-// sampleKey identifies one query point across replays.
+// sampleKey identifies one query point across replays: the sampled
+// thread's spawn-tree ident (numeric thread ids are scheduling-
+// dependent under concurrent spawning) and its per-thread sample
+// sequence number.
 type sampleKey struct {
-	thread int
-	seq    int64
+	ident uint64
+	seq   int64
 }
 
 func runTrace(p *prog.Program, tr *trace.Trace, prof pcce.Profile, spec Spec, opt Options) (*Result, error) {
@@ -201,7 +217,7 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 	var archive *Archive
 	switch name {
 	case "dacce":
-		d = core.New(rp, aggressiveOptions(opt.Sink))
+		d = core.New(rp, dacceOptions(spec, opt.Sink))
 		sch = ForceEpochs(d, spec.ForceEpochEvery)
 		sch, archive = SnapshotArchive(sch, d, spec.SnapshotEvery)
 		if spec.Mutation != "" {
@@ -229,9 +245,9 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		return fmt.Errorf("difftest: %s replay: %w", name, err)
 	}
 
-	spawnShadow := make(map[int][]machine.Frame)
+	spawnShadow := make(map[uint64][]machine.Frame)
 	for _, th := range m.Threads() {
-		spawnShadow[th.ID()] = th.SpawnShadow
+		spawnShadow[th.Ident()] = th.SpawnShadow
 	}
 
 	var cctModel [][]core.Context
@@ -240,6 +256,16 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		if err != nil {
 			return fmt.Errorf("difftest: cct model: %w", err)
 		}
+	}
+	// cctModel (and legacy traces generally) index by recorded stream;
+	// map a live sample's ident back to its stream index, falling back
+	// to the numeric id for ident-less traces.
+	identIdx := identIndexOf(tr)
+	streamOf := func(s machine.Sample) int {
+		if idx, ok := identIdx[s.Ident]; ok {
+			return idx
+		}
+		return s.Thread
 	}
 
 	report := func(s machine.Sample, epoch uint32, kind, detail string) {
@@ -264,8 +290,8 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 
 	for _, s := range rs.Samples {
 		rep.Queries++
-		want := core.ShadowContext(spawnShadow[s.Thread], s.Shadow)
-		k := sampleKey{thread: s.Thread, seq: s.Seq}
+		want := core.ShadowContext(spawnShadow[s.Ident], s.Shadow)
+		k := sampleKey{ident: s.Ident, seq: s.Seq}
 		if prev, ok := truth[k]; !ok {
 			truth[k] = want.String()
 		} else if prev != want.String() {
@@ -294,7 +320,7 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 			}
 		case "stackwalk":
 			ctx, err := sw.DecodeCapture(s.Capture)
-			wantPhys := physicalContext(spawnShadow[s.Thread], s.Shadow)
+			wantPhys := physicalContext(spawnShadow[s.Ident], s.Shadow)
 			if err != nil {
 				report(s, 0, "decode-error", err.Error())
 			} else if msg := core.DiffContexts(ctx, wantPhys); msg != "" {
@@ -302,13 +328,14 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 			}
 		case "cct":
 			ctx, err := cs.DecodeCapture(s.Capture)
+			si := streamOf(s)
 			switch {
 			case err != nil:
 				report(s, 0, "decode-error", err.Error())
-			case s.Thread >= len(cctModel) || s.Seq >= int64(len(cctModel[s.Thread])):
+			case si >= len(cctModel) || s.Seq >= int64(len(cctModel[si])):
 				report(s, 0, "alignment", fmt.Sprintf("no model context for sample %d/%d", s.Thread, s.Seq))
 			default:
-				if msg := core.DiffContexts(ctx, cctModel[s.Thread][s.Seq]); msg != "" {
+				if msg := core.DiffContexts(ctx, cctModel[si][s.Seq]); msg != "" {
 					report(s, 0, "context-mismatch", msg)
 				}
 			}
@@ -331,6 +358,7 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 	switch name {
 	case "dacce":
 		res.Epochs = d.Epoch()
+		res.IncrementalPasses = d.Stats().IncrementalPasses
 		if archive != nil {
 			final, err := persist.Marshal(d.ExportState())
 			if err != nil {
@@ -347,6 +375,19 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		res.PCCCollisions, res.PCCDistinct = pc.Collisions()
 	}
 	return nil
+}
+
+// identIndexOf maps each recorded thread ident to its stream index;
+// empty (every lookup misses) for ident-less traces.
+func identIndexOf(tr *trace.Trace) map[uint64]int {
+	m := make(map[uint64]int, len(tr.Idents))
+	if len(tr.Idents) != len(tr.Streams) {
+		return m
+	}
+	for i, id := range tr.Idents {
+		m[id] = i
+	}
+	return m
 }
 
 // physicalContext is what a stack walker must report at a query point:

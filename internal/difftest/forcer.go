@@ -5,6 +5,7 @@ import (
 
 	"dacce/internal/core"
 	"dacce/internal/machine"
+	"dacce/internal/prog"
 )
 
 // ForceEpochs wraps a DACCE encoder so that every everySamples-th
@@ -37,6 +38,12 @@ func (f *epochForcer) ThreadExit(t *machine.Thread)          { f.d.ThreadExit(t)
 func (f *epochForcer) Capture(t *machine.Thread) any         { return f.d.Capture(t) }
 func (f *epochForcer) Maintain(t *machine.Thread)            { f.d.Maintain(t) }
 func (f *epochForcer) ReleaseCapture(capture any)            { f.d.ReleaseCapture(capture) }
+
+// Module lifecycle forwards too: without it the machine would not see
+// the encoder as a ModuleObserver and churned modules would keep stale
+// stubs across unload/reload.
+func (f *epochForcer) OnModuleLoad(t *machine.Thread, id prog.ModuleID)   { f.d.OnModuleLoad(t, id) }
+func (f *epochForcer) OnModuleUnload(t *machine.Thread, id prog.ModuleID) { f.d.OnModuleUnload(t, id) }
 
 // OnSample implements machine.SampleObserver.
 func (f *epochForcer) OnSample(t *machine.Thread, capture any) {

@@ -46,4 +46,35 @@ func main() {
 	if err := difftest.SaveSpec("testdata/mutant-skew-id.json", mutant); err != nil {
 		log.Fatal(err)
 	}
+
+	// Adversarial seed: every ISSUE-7 family at once, plus the
+	// incremental re-encoding leg, in one deterministic spec — module
+	// churn windows, mega-indirect promotion, a recursion-torture
+	// descent, and spawn churn all inside a single-threaded trace.
+	adv := difftest.RandomSpec(42)
+	adv.Profile.Name = "adversarial-all"
+	adv.Profile.Threads = 1
+	adv.Profile.ChurnModules = 2
+	adv.Profile.ChurnEvery = 600
+	adv.Profile.MegaSites = 2
+	adv.Profile.MegaTargets = 96
+	adv.Profile.TortureDepth = 512
+	adv.Profile.SpawnChurn = 12
+	adv.Profile.SpawnRate = 0.05
+	adv.Incremental = true
+	res, err = difftest.Run(adv, difftest.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Diverged() {
+		log.Fatalf("adversarial seed diverged: %v", res.Divergences)
+	}
+	if res.IncrementalPasses == 0 {
+		log.Fatal("adversarial seed performed no incremental passes")
+	}
+	fmt.Printf("adversarial seed: %d samples, %d epochs, %d incremental passes, 0 divergences\n",
+		res.Samples, res.Epochs, res.IncrementalPasses)
+	if err := difftest.SaveSpec("testdata/adversarial-all.json", adv); err != nil {
+		log.Fatal(err)
+	}
 }

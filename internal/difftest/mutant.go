@@ -5,6 +5,7 @@ import (
 
 	"dacce/internal/core"
 	"dacce/internal/machine"
+	"dacce/internal/prog"
 )
 
 // Mutation names a deterministic fault injected into a scratch wrapper
@@ -95,5 +96,21 @@ func (mu *mutant) OnSample(t *machine.Thread, capture any) {
 func (mu *mutant) Maintain(t *machine.Thread) {
 	if ma, ok := mu.Scheme.(machine.Maintainer); ok {
 		ma.Maintain(t)
+	}
+}
+
+// OnModuleLoad implements machine.ModuleObserver when the inner scheme
+// tracks module lifecycle. The embedded interface only promotes core
+// Scheme methods, so the optional surface must forward explicitly.
+func (mu *mutant) OnModuleLoad(t *machine.Thread, id prog.ModuleID) {
+	if mo, ok := mu.Scheme.(machine.ModuleObserver); ok {
+		mo.OnModuleLoad(t, id)
+	}
+}
+
+// OnModuleUnload implements machine.ModuleObserver.
+func (mu *mutant) OnModuleUnload(t *machine.Thread, id prog.ModuleID) {
+	if mo, ok := mu.Scheme.(machine.ModuleObserver); ok {
+		mo.OnModuleUnload(t, id)
 	}
 }

@@ -1,0 +1,79 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"dacce/internal/difftest"
+	"dacce/internal/workload"
+)
+
+// Regression specs distilled from 1000-seed sweep failures. Each one
+// pins a previously shipped encoder bug; keep them even after the
+// originating code is rewritten.
+
+// Seed 848 (shrunk): a recursive tail call whose back edge had earned
+// Fig. 5e compression mutated a ccStack entry below an enclosing
+// TcStack save watermark in place. The tail call runs no epilogue of
+// its own, and the save restore truncates the stack but cannot reverse
+// an in-place Count++, so the decoded context gained a phantom
+// recursion cycle. Tail back edges must always push (see actionFor).
+func TestDiffRegressionSeed848(t *testing.T) {
+	spec := difftest.Spec{
+		Profile: workload.Profile{
+			Name: "diff-848", Suite: "SPECint", Seed: 0x350,
+			StaticFuncs: 21, StaticEdges: 130, ExecFuncs: 13, ExecEdges: 29,
+			Layers: 6, IndirectSites: 2, ActualTargets: 2, DeclaredTargets: 10,
+			RecSites: 5, RecProb: 0.49, RecStartProb: 0.09, MaxDepth: 41,
+			SelfRecFrac: 0.03, TailSites: 3, Threads: 3,
+			TotalCalls: 8000, CallsPerSec: 1e6, Phases: 2,
+		},
+		SampleEvery: 3, ForceEpochEvery: 18, SnapshotEvery: 9,
+		MaxEvents: 8000, Encoders: []string{"dacce"},
+	}
+	res, err := difftest.Run(spec, difftest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %s", d)
+	}
+}
+
+// Seed 775 (shrunk): goroutine-storm threads outran a pending tail
+// fix-up. The discovering trap published the tail bit and patched the
+// tail site, but its stop-the-world fix-up stalled behind running
+// threads; spawned threads entered the tail-containing function through
+// still-stale (non-save) in-edge stubs, executed the patched tail site,
+// and unwound through epilogues that leaked the pushed entry into their
+// root state. Fixed by the tail-frame self-heal (healTailFrame): a
+// thread re-translates its own frames before a tail call whose nearest
+// non-tail enclosing frame lacks the save cookie. The race is
+// scheduling-dependent, so replay the spec a few times.
+func TestDiffRegressionSeed775(t *testing.T) {
+	spec := difftest.Spec{
+		Profile: workload.Profile{
+			Name: "diff-775", Suite: "SPECint", Seed: 775,
+			StaticFuncs: 145, StaticEdges: 1097, ExecFuncs: 83, ExecEdges: 145,
+			Layers: 4, IndirectSites: 7, ActualTargets: 1, DeclaredTargets: 5,
+			RecSites: 4, MaxDepth: 56, SelfRecFrac: 0.93, TailSites: 2,
+			Threads: 2, TotalCalls: 8000, CallsPerSec: 1e6, Phases: 1,
+			SpawnChurn: 10, SpawnRate: 0.05,
+		},
+		SampleEvery: 3, ForceEpochEvery: 52, SnapshotEvery: 30,
+		MaxEvents: 8000,
+		Encoders:  []string{"dacce", "pcce", "cct", "stackwalk", "pcc"},
+	}
+	runs := 8
+	if testing.Short() {
+		runs = 2
+	}
+	for i := 0; i < runs; i++ {
+		res, err := difftest.Run(spec, difftest.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Divergences {
+			t.Fatalf("run %d: divergence: %s", i, d)
+		}
+	}
+}

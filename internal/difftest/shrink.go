@@ -78,6 +78,38 @@ func shrinkPasses() []shrinkPass {
 			s.Profile.LazyModules, s.Profile.LazyFuncs = 0, 0
 			return true
 		}},
+		// Adversarial families drop as whole features first, then (for
+		// the survivors) shrink their magnitude.
+		{"drop-module-churn", func(s *Spec) bool {
+			if s.Profile.ChurnModules == 0 {
+				return false
+			}
+			s.Profile.ChurnModules, s.Profile.ChurnFuncs, s.Profile.ChurnEvery = 0, 0, 0
+			return true
+		}},
+		{"drop-mega-indirect", func(s *Spec) bool {
+			if s.Profile.MegaSites == 0 {
+				return false
+			}
+			s.Profile.MegaSites, s.Profile.MegaTargets = 0, 0
+			return true
+		}},
+		{"drop-torture", func(s *Spec) bool { return zeroInt(&s.Profile.TortureDepth) }},
+		{"drop-spawn-churn", func(s *Spec) bool {
+			if s.Profile.SpawnChurn == 0 {
+				return false
+			}
+			s.Profile.SpawnChurn, s.Profile.SpawnRate = 0, 0
+			return true
+		}},
+		{"halve-mega-targets", func(s *Spec) bool {
+			if s.Profile.MegaSites == 0 {
+				return false
+			}
+			return halveInt(&s.Profile.MegaTargets, 2)
+		}},
+		{"halve-torture-depth", func(s *Spec) bool { return halveInt(&s.Profile.TortureDepth, 0) }},
+		{"halve-spawn-churn", func(s *Spec) bool { return halveInt(&s.Profile.SpawnChurn, 0) }},
 		{"one-phase", func(s *Spec) bool {
 			if s.Profile.Phases <= 1 {
 				return false

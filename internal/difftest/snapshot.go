@@ -8,6 +8,7 @@ import (
 	"dacce/internal/core"
 	"dacce/internal/machine"
 	"dacce/internal/persist"
+	"dacce/internal/prog"
 )
 
 // maxArchivedSnapshots bounds how many mid-trace blobs one replay
@@ -79,6 +80,30 @@ func (f *snapshotter) OnSample(t *machine.Thread, capture any) {
 	}
 }
 
+// OnModuleLoad implements machine.ModuleObserver when the wrapped
+// scheme tracks module lifecycle (interface embedding does not promote
+// the optional surface).
+func (f *snapshotter) OnModuleLoad(t *machine.Thread, id prog.ModuleID) {
+	if mo, ok := f.Scheme.(machine.ModuleObserver); ok {
+		mo.OnModuleLoad(t, id)
+	}
+}
+
+// OnModuleUnload implements machine.ModuleObserver.
+func (f *snapshotter) OnModuleUnload(t *machine.Thread, id prog.ModuleID) {
+	if mo, ok := f.Scheme.(machine.ModuleObserver); ok {
+		mo.OnModuleUnload(t, id)
+	}
+}
+
+// Maintain implements machine.Maintainer when the wrapped scheme needs
+// periodic control (DACCE's adaptive triggers do).
+func (f *snapshotter) Maintain(t *machine.Thread) {
+	if ma, ok := f.Scheme.(machine.Maintainer); ok {
+		ma.Maintain(t)
+	}
+}
+
 // captureMaxEpoch is the newest epoch a capture's decode touches: its
 // own and every epoch along the spawn chain.
 func captureMaxEpoch(c *core.Capture) uint32 {
@@ -99,7 +124,7 @@ func captureMaxEpoch(c *core.Capture) uint32 {
 // before the checkpoint); the final blob owes every capture. Returns
 // (snapshots checked, query decodes performed).
 func checkArchive(ar *Archive, final []byte, samples []machine.Sample,
-	spawnShadow map[int][]machine.Frame,
+	spawnShadow map[uint64][]machine.Frame,
 	report func(s machine.Sample, epoch uint32, kind, detail string)) (int, int, error) {
 
 	type entry struct {
@@ -141,7 +166,7 @@ func checkArchive(ar *Archive, final []byte, samples []machine.Sample,
 				continue
 			}
 			queries++
-			want := core.ShadowContext(spawnShadow[s.Thread], s.Shadow)
+			want := core.ShadowContext(spawnShadow[s.Ident], s.Shadow)
 			ctx, err := dec.Decode(c)
 			if err != nil {
 				report(s, c.Epoch, "archive-decode-error", err.Error())

@@ -65,6 +65,10 @@ type Spec struct {
 	// around the DACCE encoder (see Mutation) — the harness's
 	// self-test that seeded divergences are caught.
 	Mutation string `json:"mutation,omitempty"`
+	// Incremental runs the DACCE replay with incremental (subgraph)
+	// re-encoding enabled — the sweep's second leg, asserting that
+	// splice-renumbered epochs decode identically to full passes.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // withDefaults fills the zero knobs.
@@ -108,6 +112,22 @@ func RandomSpec(seed uint64) Spec {
 	h := func(k uint64) uint64 { return splitmix(seed ^ splitmix(k)) }
 	pr := workload.RandomProfile(seed, uint8(h(1)), uint8(h(2)), uint8(h(3)), uint8(h(4)))
 	pr.Name = fmt.Sprintf("diff-%d", seed)
+	// Half the seeds overlay one adversarial family (ISSUE 7), so every
+	// sweep exercises module churn, mega-indirect dispatch, recursion
+	// torture, and spawn churn alongside the plain profiles.
+	switch h(8) % 8 {
+	case 0:
+		pr.ChurnModules = 1 + int(h(9)%3)
+		pr.ChurnEvery = 400 + int64(h(9)%1200)
+	case 1:
+		pr.MegaSites = 1 + int(h(9)%3)
+		pr.MegaTargets = 16 + int(h(9)%241)
+	case 2:
+		pr.TortureDepth = 256 + int(h(9)%1793)
+	case 3:
+		pr.SpawnChurn = 8 + int(h(9)%57)
+		pr.SpawnRate = 0.05
+	}
 	return Spec{
 		Profile:         pr,
 		SampleEvery:     3 + int64(h(5)%11),

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/telemetry"
+	"dacce/internal/workload"
+)
+
+// AdversarialConfig parameterizes the adversarial-workload suite
+// (ISSUE 7): the mega-indirect dispatch crossover sweep, the 64-thread
+// module/goroutine churn run, and the recursion-torture decode-latency
+// probe. Each leg pushes one mechanism the paper's design singles out —
+// Fig. 4's inline-chain-vs-hash dispatch choice, §5.1's dlopen
+// lifecycle, and Fig. 5e's ccStack compression — far past the regimes
+// the Table 1 profiles reach.
+type AdversarialConfig struct {
+	// Targets lists the mega-indirect fan-outs of the crossover sweep
+	// (default 2, 4, 8, 16, 64, 256, 1024). Each count is measured
+	// twice: once with the inline compare chain forced and once with
+	// hash dispatch forced, so the crossover point is read directly
+	// from the modeled dispatch cost.
+	Targets []int
+	// CrossoverCalls is the call budget per crossover run (default
+	// 120k).
+	CrossoverCalls int64
+	// ChurnThreads is the thread count of the churn leg (default 64 —
+	// the ISSUE's goroutine-storm floor).
+	ChurnThreads int
+	// ChurnCallsPerThread is each churn thread's budget (default 6k).
+	ChurnCallsPerThread int64
+	// TortureDepth is the recursion-torture stack depth (default 100k,
+	// the ISSUE's 1e5 floor).
+	TortureDepth int
+	// TortureDecodes caps how many sampled captures the decode-latency
+	// probe decodes (default 400; contexts are ~TortureDepth frames
+	// deep, so decoding every sample would dominate the suite).
+	TortureDecodes int
+	// SampleEvery is the sampling period of the churn and torture legs
+	// (default 64).
+	SampleEvery int64
+}
+
+func (c *AdversarialConfig) fill() {
+	if len(c.Targets) == 0 {
+		c.Targets = []int{2, 4, 8, 16, 64, 256, 1024}
+	}
+	if c.CrossoverCalls == 0 {
+		c.CrossoverCalls = 120_000
+	}
+	if c.ChurnThreads == 0 {
+		c.ChurnThreads = 64
+	}
+	if c.ChurnCallsPerThread == 0 {
+		c.ChurnCallsPerThread = 6_000
+	}
+	if c.TortureDepth == 0 {
+		c.TortureDepth = 100_000
+	}
+	if c.TortureDecodes == 0 {
+		c.TortureDecodes = 400
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 64
+	}
+}
+
+// CrossoverRow is one (targets, dispatch mode) cell of the Fig. 4
+// sweep.
+type CrossoverRow struct {
+	Targets int `json:"targets"`
+	// Mode is "chain" (inline compare chain forced) or "hash" (hash
+	// dispatch forced).
+	Mode  string `json:"mode"`
+	Calls int64  `json:"calls"`
+	// ComparesPerCall and ProbesPerCall are the dispatch instruction
+	// counters normalized per call.
+	ComparesPerCall float64 `json:"compares_per_call"`
+	ProbesPerCall   float64 `json:"probes_per_call"`
+	// InstrCostPerCall is the modeled instrumentation cost per call —
+	// the quantity whose chain/hash ordering flips at the crossover.
+	InstrCostPerCall float64 `json:"instr_cost_per_call"`
+	HandlerTraps     int64   `json:"handler_traps"`
+	Epochs           uint32  `json:"epochs"`
+}
+
+// ChurnReport summarizes the 64-thread module/goroutine churn leg.
+type ChurnReport struct {
+	Threads       int     `json:"threads"`
+	SpawnedTotal  int     `json:"spawned_total"`
+	Calls         int64   `json:"calls"`
+	ModuleLoads   int64   `json:"module_loads"`
+	ModuleUnloads int64   `json:"module_unloads"`
+	HandlerTraps  int64   `json:"handler_traps"`
+	TrapsPerSec   float64 `json:"traps_per_sec"`
+	Epochs        uint32  `json:"epochs"`
+	PauseP50Us    float64 `json:"pause_p50_us"`
+	PauseP99Us    float64 `json:"pause_p99_us"`
+	PauseMaxUs    float64 `json:"pause_max_us"`
+}
+
+// TortureReport summarizes the recursion-torture decode-latency probe.
+type TortureReport struct {
+	Depth    int   `json:"depth"`
+	Calls    int64 `json:"calls"`
+	MaxDepth int   `json:"max_sampled_depth"`
+	// CcStackMax is the deepest sampled ccStack — with Fig. 5e
+	// compression it stays orders of magnitude below Depth.
+	CcStackMax int `json:"ccstack_max"`
+	Decodes    int `json:"decodes"`
+	// DecodeP50Us/P99Us/MaxUs are wall-clock decode latencies of
+	// sampled captures (deep contexts decode linearly in their depth).
+	DecodeP50Us float64 `json:"decode_p50_us"`
+	DecodeP99Us float64 `json:"decode_p99_us"`
+	DecodeMaxUs float64 `json:"decode_max_us"`
+	// Mismatches counts decoded contexts that disagreed with the shadow
+	// stack — the suite doubles as an oracle gate and this must be 0.
+	Mismatches int `json:"mismatches"`
+}
+
+// AdversarialReport is the suite's result, serialized as
+// BENCH_adversarial.json.
+type AdversarialReport struct {
+	Config     AdversarialConfig `json:"config"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Crossover  []CrossoverRow    `json:"crossover"`
+	// CrossoverTargets is the smallest swept target count at which hash
+	// dispatch beats the inline chain on modeled cost (0 if the chain
+	// wins everywhere swept).
+	CrossoverTargets int            `json:"crossover_targets"`
+	Churn            *ChurnReport   `json:"churn"`
+	Torture          *TortureReport `json:"torture"`
+}
+
+// crossoverProfile isolates mega-indirect dispatch: a tiny executed
+// core so the mega sites carry nearly all call volume.
+func crossoverProfile(targets int, calls int64) workload.Profile {
+	return workload.Profile{
+		Name:        fmt.Sprintf("adv-crossover-%d", targets),
+		Seed:        0xADE1,
+		ExecFuncs:   12,
+		Layers:      3,
+		Threads:     1,
+		TotalCalls:  calls,
+		Phases:      1,
+		MegaSites:   4,
+		MegaTargets: targets,
+	}
+}
+
+// Adversarial runs the adversarial-workload suite and returns the
+// report.
+func Adversarial(cfg AdversarialConfig) (*AdversarialReport, error) {
+	cfg.fill()
+	rep := &AdversarialReport{
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Leg 1: inline-chain vs hash dispatch crossover (Fig. 4). The
+	// encoder's InlineThreshold is forced far out (chain mode) or down
+	// to one (hash mode), so each row measures one dispatch strategy
+	// across the whole fan-out sweep.
+	costAt := map[string]map[int]float64{"chain": {}, "hash": {}}
+	for _, n := range cfg.Targets {
+		for _, mode := range []string{"chain", "hash"} {
+			thr := 1 << 20 // chain: never promote to hash
+			if mode == "hash" {
+				thr = 1 // hash: promote past a single target
+			}
+			w, err := workload.Build(crossoverProfile(n, cfg.CrossoverCalls))
+			if err != nil {
+				return nil, err
+			}
+			d := core.New(w.P, core.Options{InlineThreshold: thr})
+			m := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: true})
+			rs, err := m.Run()
+			if err != nil {
+				return nil, err
+			}
+			row := CrossoverRow{
+				Targets:          n,
+				Mode:             mode,
+				Calls:            rs.C.Calls,
+				ComparesPerCall:  float64(rs.C.Compares) / float64(rs.C.Calls),
+				ProbesPerCall:    float64(rs.C.HashProbes) / float64(rs.C.Calls),
+				InstrCostPerCall: float64(rs.C.InstrCost) / float64(rs.C.Calls),
+				HandlerTraps:     rs.C.HandlerTraps,
+				Epochs:           d.Epoch(),
+			}
+			rep.Crossover = append(rep.Crossover, row)
+			costAt[mode][n] = row.InstrCostPerCall
+		}
+	}
+	for _, n := range cfg.Targets {
+		if costAt["hash"][n] < costAt["chain"][n] {
+			rep.CrossoverTargets = n
+			break
+		}
+	}
+
+	// Leg 2: module churn under a goroutine storm. The main thread
+	// cycles dlopen/dlclose windows (each unload re-traps the module's
+	// sites, each reload re-discovers them) while every root sheds
+	// ephemeral threads, so trap handling, stub publication and spawn
+	// contexts are all churning at once.
+	churnPr := workload.Profile{
+		Name:         "adv-churn",
+		Seed:         0xADE2,
+		ExecFuncs:    96,
+		Layers:       6,
+		Threads:      cfg.ChurnThreads,
+		TotalCalls:   cfg.ChurnCallsPerThread * int64(cfg.ChurnThreads),
+		Phases:       2,
+		ChurnModules: 8,
+		ChurnFuncs:   4,
+		ChurnEvery:   400,
+		SpawnChurn:   16,
+		SpawnRate:    0.05,
+	}
+	w, err := workload.Build(churnPr)
+	if err != nil {
+		return nil, err
+	}
+	d := core.New(w.P, core.Options{})
+	m := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery, DropSamples: true})
+	start := time.Now()
+	rs, err := m.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	ph := d.PauseHist().Snapshot()
+	rep.Churn = &ChurnReport{
+		Threads:       cfg.ChurnThreads,
+		SpawnedTotal:  rs.Threads,
+		Calls:         rs.C.Calls,
+		ModuleLoads:   rs.C.ModuleLoads,
+		ModuleUnloads: rs.C.ModuleUnloads,
+		HandlerTraps:  rs.C.HandlerTraps,
+		TrapsPerSec:   float64(rs.C.HandlerTraps) / elapsed.Seconds(),
+		Epochs:        d.Epoch(),
+		PauseP50Us:    float64(ph.P50) / 1e3,
+		PauseP99Us:    float64(ph.P99) / 1e3,
+		PauseMaxUs:    float64(ph.Max) / 1e3,
+	}
+
+	// Leg 3: recursion torture. One descent reaches TortureDepth
+	// frames; sampled captures are decoded afterwards against the
+	// shadow stack, timing each decode.
+	tortPr := workload.Profile{
+		Name:         "adv-torture",
+		Seed:         0xADE3,
+		ExecFuncs:    12,
+		Layers:       3,
+		Threads:      1,
+		TotalCalls:   int64(cfg.TortureDepth) * 6,
+		Phases:       1,
+		TortureDepth: cfg.TortureDepth,
+	}
+	w, err = workload.Build(tortPr)
+	if err != nil {
+		return nil, err
+	}
+	d = core.New(w.P, core.Options{})
+	m = w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery})
+	rs, err = m.Run()
+	if err != nil {
+		return nil, err
+	}
+	tr := &TortureReport{Depth: cfg.TortureDepth, Calls: rs.C.Calls}
+	samples := rs.Samples
+	stride := 1
+	if len(samples) > cfg.TortureDecodes {
+		stride = len(samples) / cfg.TortureDecodes
+	}
+	hist := telemetry.NewHistogram(telemetry.DurationBuckets())
+	for i := 0; i < len(samples); i += stride {
+		s := samples[i]
+		if len(s.Shadow) > tr.MaxDepth {
+			tr.MaxDepth = len(s.Shadow)
+		}
+		c, ok := s.Capture.(*core.Capture)
+		if !ok {
+			continue
+		}
+		if len(c.CC) > tr.CcStackMax {
+			tr.CcStackMax = len(c.CC)
+		}
+		t0 := time.Now()
+		ctx, err := d.Decode(c)
+		hist.ObserveDuration(time.Since(t0))
+		tr.Decodes++
+		if err != nil {
+			tr.Mismatches++
+			continue
+		}
+		want := core.ShadowContext(nil, s.Shadow)
+		if msg := core.DiffContexts(ctx, want); msg != "" {
+			tr.Mismatches++
+		}
+	}
+	ds := hist.Snapshot()
+	tr.DecodeP50Us = float64(ds.P50) / 1e3
+	tr.DecodeP99Us = float64(ds.P99) / 1e3
+	tr.DecodeMaxUs = float64(ds.Max) / 1e3
+	rep.Torture = tr
+	return rep, nil
+}

@@ -74,6 +74,13 @@ const (
 	// (Bond–McKinley: one multiply-add).
 	CostPCCHash = 2
 
+	// CostModuleLoad / CostModuleUnload price the dynamic linker's
+	// dlopen/dlclose work (mapping segments, running init/fini), charged
+	// to the application: module churn is program behaviour, not
+	// instrumentation.
+	CostModuleLoad   = 2400
+	CostModuleUnload = 1200
+
 	// workSafepointChunk is how many work units run between safepoint
 	// checks inside Thread.Work, bounding stop-the-world latency even
 	// in call-free loops.

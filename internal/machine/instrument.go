@@ -76,6 +76,30 @@ func (w *instrumented) OnSample(t *Thread, capture any) {
 	})
 }
 
+// OnModuleLoad implements ModuleObserver, forwarding when the inner
+// scheme tracks module lifecycle (DACCE re-instruments churned
+// modules) and emitting the transition either way.
+func (w *instrumented) OnModuleLoad(t *Thread, id prog.ModuleID) {
+	if mo, ok := w.inner.(ModuleObserver); ok {
+		mo.OnModuleLoad(t, id)
+	}
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvModuleLoad, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: prog.NoFunc, Value: uint64(id),
+	})
+}
+
+// OnModuleUnload implements ModuleObserver.
+func (w *instrumented) OnModuleUnload(t *Thread, id prog.ModuleID) {
+	if mo, ok := w.inner.(ModuleObserver); ok {
+		mo.OnModuleUnload(t, id)
+	}
+	w.sink.Emit(telemetry.Event{
+		Kind: telemetry.EvModuleUnload, Thread: int32(t.ID()),
+		Site: prog.NoSite, Fn: prog.NoFunc, Value: uint64(id),
+	})
+}
+
 // Maintain implements Maintainer, forwarding when the inner scheme
 // needs periodic control.
 func (w *instrumented) Maintain(t *Thread) {

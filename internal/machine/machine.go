@@ -103,10 +103,24 @@ type Maintainer interface {
 	Maintain(t *Thread)
 }
 
+// ModuleObserver is implemented by schemes that care about dlopen-style
+// module lifecycle (paper §5.1). The machine invokes the hooks on the
+// thread performing the load/unload, at a clean point (no call in
+// flight), and only on actual state transitions — a LoadModule of an
+// already-loaded module is silent.
+type ModuleObserver interface {
+	OnModuleLoad(t *Thread, id prog.ModuleID)
+	OnModuleUnload(t *Thread, id prog.ModuleID)
+}
+
 // Sample pairs a scheme capture with the ground truth at the same
 // instant.
 type Sample struct {
-	Thread  int
+	Thread int
+	// Ident is the thread's spawn-tree identity (Thread.Ident): stable
+	// across record/replay even when OS scheduling permutes thread ids,
+	// so differential checks key on it.
+	Ident   uint64
 	Seq     int64 // per-thread sample sequence number
 	Fn      prog.FuncID
 	Capture any
@@ -175,6 +189,7 @@ type Machine struct {
 	sampleObs  SampleObserver
 	maintainer Maintainer
 	releaser   CaptureReleaser
+	moduleObs  ModuleObserver
 
 	started bool
 	stats   RunStats
@@ -204,6 +219,9 @@ func New(p *prog.Program, scheme Scheme, cfg Config) *Machine {
 		if m.cfg.MaintainEvery == 0 {
 			m.cfg.MaintainEvery = DefaultMaintainEvery
 		}
+	}
+	if mo, ok := scheme.(ModuleObserver); ok {
+		m.moduleObs = mo
 	}
 	for _, mod := range p.Modules {
 		if !mod.Lazy {
@@ -294,9 +312,26 @@ func (m *Machine) Run() (*RunStats, error) {
 // spawn starts a thread executing fn. parent is nil for the entry
 // thread.
 func (m *Machine) spawn(fn prog.FuncID, parent *Thread) *Thread {
-	t := newThread(m, int(m.nextTID.Add(1)-1), fn)
+	// The spawn-tree ident is derived from the parent's ident, the
+	// parent's local spawn ordinal, and the entry function — all values
+	// that replay identically regardless of how the OS interleaves
+	// threads. The numeric thread id (spawn order across the whole
+	// machine) is NOT deterministic under concurrent spawning, so
+	// nothing that must match across record/replay may key on it.
+	ident := RootIdent
 	if parent != nil {
-		t.SpawnShadow = parent.ShadowCopy()
+		parent.spawnSeq++
+		ident = childIdent(parent.ident, parent.spawnSeq, fn)
+	}
+	t := newThread(m, int(m.nextTID.Add(1)-1), ident, fn)
+	if parent != nil {
+		// Full transitive chain: the parent's own spawn prefix plus its
+		// live frames, so nested spawns (a spawned thread spawning
+		// another) still carry complete ground truth. This mirrors the
+		// capture chain the scheme builds through SpawnCapture links.
+		pre := parent.SpawnShadow
+		own := parent.ShadowCopy()
+		t.SpawnShadow = append(append(make([]Frame, 0, len(pre)+len(own)), pre...), own...)
 	}
 	m.threadsMu.Lock()
 	m.threads = append(m.threads, t)

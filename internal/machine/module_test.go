@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"dacce/internal/prog"
+)
+
+// modObsScheme records module lifecycle notifications.
+type modObsScheme struct {
+	NullScheme
+	mu      sync.Mutex
+	loads   []prog.ModuleID
+	unloads []prog.ModuleID
+}
+
+func (s *modObsScheme) OnModuleLoad(t *Thread, id prog.ModuleID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads = append(s.loads, id)
+}
+
+func (s *modObsScheme) OnModuleUnload(t *Thread, id prog.ModuleID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unloads = append(s.unloads, id)
+}
+
+// buildModuleProg returns a program whose main loads, calls into, and
+// unloads a lazy module n times; double loads and unloads are no-ops.
+func buildModuleProg(t *testing.T, cycles int) (*prog.Program, prog.ModuleID) {
+	t.Helper()
+	b := prog.NewBuilder()
+	mod := b.Module("plugin.so", true)
+	mainF := b.Func("main")
+	inMod := b.FuncIn("plugfn", mod)
+	gate := b.CallSite(mainF, inMod)
+	b.Leaf(inMod, 1)
+	b.Body(mainF, func(x prog.Exec) {
+		for i := 0; i < cycles; i++ {
+			x.LoadModule(mod)
+			x.LoadModule(mod) // second load is a no-op
+			x.Call(gate, prog.NoFunc)
+			x.UnloadModule(mod)
+			x.UnloadModule(mod) // second unload is a no-op
+		}
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, mod
+}
+
+func TestModuleLifecycleTransitions(t *testing.T) {
+	p, mod := buildModuleProg(t, 3)
+	obs := &modObsScheme{}
+	m := New(p, obs, Config{})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only real state transitions count: 3 loads and 3 unloads despite
+	// the doubled calls.
+	if rs.C.ModuleLoads != 3 || rs.C.ModuleUnloads != 3 {
+		t.Errorf("counters = %d loads, %d unloads, want 3/3", rs.C.ModuleLoads, rs.C.ModuleUnloads)
+	}
+	if len(obs.loads) != 3 || len(obs.unloads) != 3 {
+		t.Errorf("observer saw %d loads, %d unloads, want 3/3", len(obs.loads), len(obs.unloads))
+	}
+	for _, id := range obs.loads {
+		if id != mod {
+			t.Errorf("load of module %d, want %d", id, mod)
+		}
+	}
+	if m.ModuleLoaded(mod) {
+		t.Error("module still loaded after final unload")
+	}
+}
+
+func TestModuleLoadChargesCost(t *testing.T) {
+	p, _ := buildModuleProg(t, 2)
+	m := New(p, NullScheme{}, Config{})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*CostModuleLoad + 2*CostModuleUnload)
+	// Base cost also includes call dispatch and work; just assert the
+	// lifecycle share is present.
+	if rs.C.BaseCost < want {
+		t.Errorf("base cost %d does not cover %d cycles of module lifecycle", rs.C.BaseCost, want)
+	}
+}
+
+func TestUnloadEagerModulePanics(t *testing.T) {
+	b := prog.NewBuilder()
+	mod := b.Module("libshared.so", false) // eager
+	mainF := b.Func("main")
+	b.FuncIn("shared", mod)
+	b.Body(mainF, func(x prog.Exec) {
+		defer func() {
+			if recover() == nil {
+				t.Error("UnloadModule of an eager module did not panic")
+			}
+		}()
+		x.UnloadModule(mod)
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, NullScheme{}, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnloadWithActiveFramePanics(t *testing.T) {
+	b := prog.NewBuilder()
+	mod := b.Module("plugin.so", true)
+	mainF := b.Func("main")
+	inMod := b.FuncIn("plugfn", mod)
+	gate := b.CallSite(mainF, inMod)
+	b.Body(inMod, func(x prog.Exec) {
+		// Unloading the module that holds this very frame is the model's
+		// analogue of dlclose-ing your own caller: a hard error.
+		defer func() {
+			if recover() == nil {
+				t.Error("UnloadModule with an own frame inside did not panic")
+			}
+		}()
+		x.UnloadModule(mod)
+	})
+	b.Body(mainF, func(x prog.Exec) {
+		x.LoadModule(mod)
+		x.Call(gate, prog.NoFunc)
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, NullScheme{}, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadIdentsDeterministic checks that thread identities depend
+// only on the spawn tree, not on numeric spawn order: two runs of the
+// same concurrent program produce the same ident set, and distinct
+// threads never share an ident.
+func TestThreadIdentsDeterministic(t *testing.T) {
+	build := func() *prog.Program {
+		b := prog.NewBuilder()
+		mainF := b.Func("main")
+		child := b.Func("child")
+		grand := b.Func("grand")
+		b.ThreadRoot(child)
+		b.ThreadRoot(grand)
+		b.Body(mainF, func(x prog.Exec) {
+			for i := 0; i < 8; i++ {
+				x.Spawn(child)
+			}
+		})
+		b.Body(child, func(x prog.Exec) {
+			x.Work(1)
+			x.Spawn(grand)
+		})
+		b.Leaf(grand, 1)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	idents := func() map[uint64]bool {
+		m := New(build(), NullScheme{}, Config{})
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[uint64]bool)
+		for _, th := range m.Threads() {
+			if set[th.Ident()] {
+				t.Fatalf("duplicate thread ident %#x", th.Ident())
+			}
+			set[th.Ident()] = true
+		}
+		return set
+	}
+	a, b := idents(), idents()
+	if len(a) != 17 || len(b) != 17 { // main + 8 children + 8 grandchildren
+		t.Fatalf("thread counts %d/%d, want 17", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Errorf("ident %#x present in run 1 but not run 2", id)
+		}
+	}
+}
+
+// TestNestedSpawnShadow checks that SpawnShadow carries the full
+// transitive spawn chain, not just the immediate parent's frames.
+func TestNestedSpawnShadow(t *testing.T) {
+	b := prog.NewBuilder()
+	mainF := b.Func("main")
+	mid := b.Func("mid")
+	child := b.Func("child")
+	grand := b.Func("grand")
+	b.ThreadRoot(child)
+	b.ThreadRoot(grand)
+	gate := b.CallSite(mainF, mid)
+	b.Body(mainF, func(x prog.Exec) { x.Call(gate, prog.NoFunc) })
+	b.Body(mid, func(x prog.Exec) { x.Spawn(child) })
+	b.Body(child, func(x prog.Exec) { x.Spawn(grand) })
+	b.Leaf(grand, 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p, NullScheme{}, Config{})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	grandID := p.Funcs[3].ID
+	for _, th := range m.Threads() {
+		if th.Entry() != grandID {
+			continue
+		}
+		// grand's chain: main→mid (parent of child) then child's root
+		// frame — three frames in total.
+		if len(th.SpawnShadow) != 3 {
+			t.Fatalf("grand's SpawnShadow has %d frames, want 3 (main, mid, child)", len(th.SpawnShadow))
+		}
+		return
+	}
+	t.Fatal("grand thread not found")
+}

@@ -48,14 +48,16 @@ type Counters struct {
 	// overhead of a millisecond-scale model run would mis-weight it.
 	ReencodeCost int64
 
-	CCPush       int64 // ccStack pushes
-	CCPop        int64 // ccStack pops
-	CCPeek       int64 // compressed-recursion top adjustments
-	TcSaves      int64 // TcStack saves/restores
-	HandlerTraps int64 // runtime-handler invocations
-	HashProbes   int64 // indirect hash-table probes
-	Compares     int64 // inline indirect-target comparisons
-	Samples      int64
+	CCPush        int64 // ccStack pushes
+	CCPop         int64 // ccStack pops
+	CCPeek        int64 // compressed-recursion top adjustments
+	TcSaves       int64 // TcStack saves/restores
+	HandlerTraps  int64 // runtime-handler invocations
+	HashProbes    int64 // indirect hash-table probes
+	Compares      int64 // inline indirect-target comparisons
+	Samples       int64
+	ModuleLoads   int64 // dlopen-style module load transitions
+	ModuleUnloads int64 // dlclose-style module unload transitions
 
 	MaxShadowDepth int
 	MaxCCDepth     int
@@ -100,6 +102,8 @@ func (c *Counters) add(o *Counters) {
 	c.HashProbes += o.HashProbes
 	c.Compares += o.Compares
 	c.Samples += o.Samples
+	c.ModuleLoads += o.ModuleLoads
+	c.ModuleUnloads += o.ModuleUnloads
 	if o.MaxShadowDepth > c.MaxShadowDepth {
 		c.MaxShadowDepth = o.MaxShadowDepth
 	}
@@ -185,15 +189,23 @@ const NominalHz = 1.87e9
 type Thread struct {
 	m     *Machine
 	id    int
+	ident uint64
 	entry prog.FuncID
 	rng   *rand.Rand
+
+	// spawnSeq counts this thread's own Spawn calls; combined with the
+	// thread's ident it derives children's idents. Only the owning
+	// thread touches it.
+	spawnSeq uint64
 
 	// State is the scheme's thread-local state (TLS). Set by the
 	// scheme's ThreadStart.
 	State any
 
-	// SpawnShadow is the parent's shadow stack at spawn time: the ground
-	// truth for the sub-path that created this thread.
+	// SpawnShadow is the full spawn-chain prefix at spawn time — the
+	// parent's own SpawnShadow followed by its shadow stack — the
+	// ground truth for the complete sub-path that created this thread,
+	// through arbitrarily nested spawns.
 	SpawnShadow []Frame
 	// SpawnCapture is the scheme's capture of the parent context at
 	// spawn time.
@@ -208,17 +220,51 @@ type Thread struct {
 	callsSinceMaintain int64
 }
 
-func newThread(m *Machine, id int, entry prog.FuncID) *Thread {
+// RootIdent is the spawn-tree identity of the entry thread. It equals
+// the rng stream the entry thread used before idents existed, so
+// single-threaded runs draw the same random sequences as older traces.
+const RootIdent uint64 = 0x9e3779b97f4a7c15
+
+// childIdent derives a spawned thread's identity from its parent's
+// identity, the parent's local spawn ordinal, and the entry function —
+// a splitmix-style mix of values that are identical between a recording
+// run and its replays, whatever order the OS actually starts threads in.
+func childIdent(parent, seq uint64, entry prog.FuncID) uint64 {
+	x := parent ^ mix64(seq+0x9e3779b97f4a7c15) ^ mix64(uint64(uint32(entry))+0xbf58476d1ce4e5b9)
+	return mix64(x)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newThread(m *Machine, id int, ident uint64, entry prog.FuncID) *Thread {
 	return &Thread{
 		m:     m,
 		id:    id,
+		ident: ident,
 		entry: entry,
-		rng:   rand.New(rand.NewPCG(m.cfg.Seed, uint64(id)+0x9e3779b97f4a7c15)),
+		// The target-picking rng is seeded from the spawn-tree ident, not
+		// the numeric id: under concurrent spawning ids depend on OS
+		// scheduling, and a replayed thread must draw the same stream it
+		// drew while recording.
+		rng: rand.New(rand.NewPCG(m.cfg.Seed, ident)),
 	}
 }
 
-// ID returns the thread id (0 for the entry thread).
+// ID returns the thread id (0 for the entry thread). Ids are assigned
+// in global spawn order, which is scheduling-dependent under concurrent
+// spawning — use Ident for anything that must survive replay.
 func (t *Thread) ID() int { return t.id }
+
+// Ident returns the thread's deterministic spawn-tree identity.
+func (t *Thread) Ident() uint64 { return t.ident }
 
 // Entry returns the function the thread started in.
 func (t *Thread) Entry() prog.FuncID { return t.entry }
@@ -255,6 +301,17 @@ func (t *Thread) SelfID() prog.FuncID {
 // pointer is valid only until the thread makes another call; schemes use
 // it during runtime-handler fix-ups and with the world stopped.
 func (t *Thread) FrameAt(i int) *Frame { return &t.shadow[i] }
+
+// FrameInModule reports whether any of the thread's shadow frames is
+// executing a function of the given module. Used to validate unloads.
+func (t *Thread) FrameInModule(id prog.ModuleID) bool {
+	for i := range t.shadow {
+		if t.m.p.Funcs[t.shadow[i].Fn].Module == id {
+			return true
+		}
+	}
+	return false
+}
 
 // ShadowCopy returns a copy of the current shadow stack.
 func (t *Thread) ShadowCopy() []Frame {
@@ -301,6 +358,58 @@ func (t *Thread) Work(units int64) {
 func (t *Thread) Spawn(entry prog.FuncID) {
 	t.C.Spawns++
 	t.m.spawn(entry, t)
+}
+
+// LoadModule implements prog.Exec: dlopen. Loading an already-loaded
+// module is a no-op; a real transition notifies the scheme's
+// ModuleObserver so instrumentation can meet the module's sites.
+func (t *Thread) LoadModule(id prog.ModuleID) {
+	if int(id) < 0 || int(id) >= len(t.m.p.Modules) {
+		panic(fmt.Sprintf("machine: LoadModule of unknown module %d", id))
+	}
+	if t.m.stopRequest.Load() {
+		t.m.park()
+	}
+	if !t.m.moduleLoaded[id].CompareAndSwap(false, true) {
+		return
+	}
+	t.C.ModuleLoads++
+	t.C.BaseCost += CostModuleLoad
+	if t.m.moduleObs != nil {
+		t.m.moduleObs.OnModuleLoad(t, id)
+	}
+}
+
+// UnloadModule implements prog.Exec: dlclose. The module must be lazy
+// (the executable and eagerly linked libraries cannot be unloaded) and
+// the calling thread must not have a frame inside it — unloading code
+// you are executing is a model error, as it would be a crash in a real
+// process. Contexts captured while the module was loaded must stay
+// decodable afterwards; schemes are notified via ModuleObserver so they
+// can drop the module's instrumentation without touching the epoch
+// history those captures point into.
+func (t *Thread) UnloadModule(id prog.ModuleID) {
+	if int(id) < 0 || int(id) >= len(t.m.p.Modules) {
+		panic(fmt.Sprintf("machine: UnloadModule of unknown module %d", id))
+	}
+	if !t.m.p.Modules[id].Lazy {
+		panic(fmt.Sprintf("machine: UnloadModule of eager module %q", t.m.p.Modules[id].Name))
+	}
+	if t.FrameInModule(id) {
+		panic(fmt.Sprintf("machine: UnloadModule of %q with an own frame still active",
+			t.m.p.Modules[id].Name))
+	}
+	if t.m.stopRequest.Load() {
+		t.m.park()
+	}
+	if !t.m.moduleLoaded[id].CompareAndSwap(true, false) {
+		return
+	}
+	t.C.ModuleUnloads++
+	t.C.BaseCost += CostModuleUnload
+	if t.m.moduleObs != nil {
+		t.m.moduleObs.OnModuleUnload(t, id)
+	}
 }
 
 // Call implements prog.Exec.
@@ -405,6 +514,7 @@ func (t *Thread) maybeSample() {
 	if !t.m.cfg.DropSamples && len(t.samples) < t.m.cfg.MaxSamplesPerThread {
 		t.samples = append(t.samples, Sample{
 			Thread:  t.id,
+			Ident:   t.ident,
 			Seq:     t.sampleSeq,
 			Fn:      t.SelfID(),
 			Capture: snap,

@@ -113,6 +113,15 @@ type Exec interface {
 	// SelfID returns the function being executed, mainly for bodies that
 	// are shared between functions.
 	SelfID() FuncID
+	// LoadModule loads a lazy module (dlopen). Loading an already-loaded
+	// module is a no-op, so refcounted loads need no caller bookkeeping.
+	LoadModule(m ModuleID)
+	// UnloadModule unloads a lazy module (dlclose). The module's code is
+	// gone afterwards — bodies must not call into it until a LoadModule
+	// brings it back — but contexts captured while it was loaded must
+	// remain decodable. Unloading an eager module or a module with one of
+	// the calling thread's own frames still inside it is a model error.
+	UnloadModule(m ModuleID)
 }
 
 // Body is the executable behaviour of a function.

@@ -182,3 +182,5 @@ func (f *fakeExec) Depth() int                       { return 0 }
 func (f *fakeExec) Caller() FuncID                   { return NoFunc }
 func (f *fakeExec) CallCount() int64                 { return int64(len(f.calls)) }
 func (f *fakeExec) SelfID() FuncID                   { return 0 }
+func (f *fakeExec) LoadModule(m ModuleID)            {}
+func (f *fakeExec) UnloadModule(m ModuleID)          {}

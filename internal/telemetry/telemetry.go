@@ -87,6 +87,13 @@ const (
 	// always set (a breach is a failure). A FlightRecorder auto-dumps on
 	// it, so the events leading up to the breach are preserved.
 	EvSLOBreach
+	// EvModuleLoad: a dlopen-style module transitioned to loaded. Value
+	// is the module id.
+	EvModuleLoad
+	// EvModuleUnload: a module was unloaded (dlclose). Value is the
+	// module id. Contexts captured in earlier epochs must remain
+	// decodable after this event.
+	EvModuleUnload
 
 	// NumKinds is the number of event kinds (for per-kind tables).
 	NumKinds
@@ -109,6 +116,8 @@ var kindNames = [NumKinds]string{
 	EvSample:           "sample",
 	EvDivergence:       "divergence",
 	EvSLOBreach:        "slo_breach",
+	EvModuleLoad:       "module_load",
+	EvModuleUnload:     "module_unload",
 }
 
 // String returns the kind's snake_case name.

@@ -35,14 +35,21 @@ const (
 	EvWork
 	// EvSpawn starts a new thread at a function.
 	EvSpawn
+	// EvModLoad loads a module (dlopen). Target carries the module id.
+	EvModLoad
+	// EvModUnload unloads a module (dlclose). Target carries the module
+	// id.
+	EvModUnload
 )
 
 // Event is one recorded action of one thread.
 type Event struct {
-	Kind   EventKind
-	Site   prog.SiteID // EvCall
-	Target prog.FuncID // EvCall (resolved), EvSpawn (entry)
-	Work   int64       // EvWork
+	Kind EventKind
+	Site prog.SiteID // EvCall
+	// Target is the resolved callee (EvCall), the spawned thread's entry
+	// (EvSpawn), or the module id (EvModLoad/EvModUnload).
+	Target prog.FuncID
+	Work   int64 // EvWork
 }
 
 // Trace is one run's event streams, one per thread, plus each thread's
@@ -50,6 +57,14 @@ type Event struct {
 type Trace struct {
 	Entries []prog.FuncID // per thread: entry function
 	Streams [][]Event     // per thread: events in execution order
+
+	// Idents holds each recorded thread's spawn-tree identity
+	// (machine.Thread.Ident), aligned with Streams. Replay matches a
+	// live thread to its stream by ident, which is stable under
+	// concurrent spawning where numeric thread ids are not. Empty for
+	// traces recorded before idents existed; replay then falls back to
+	// id order.
+	Idents []uint64
 
 	// SyntheticWork, when > 0, makes replays charge this much
 	// application work before every replayed call. The recorder cannot
@@ -82,6 +97,7 @@ type Recorder struct {
 
 type recTLS struct {
 	entry  prog.FuncID
+	ident  uint64
 	events []Event
 }
 
@@ -103,7 +119,7 @@ func (r *Recorder) Install(m *machine.Machine) {
 
 // ThreadStart implements machine.Scheme.
 func (r *Recorder) ThreadStart(t, parent *machine.Thread) {
-	tls := &recTLS{entry: t.Entry()}
+	tls := &recTLS{entry: t.Entry(), ident: t.Ident()}
 	t.State = tls
 	r.mu.Lock()
 	r.streams[t.ID()] = tls
@@ -121,6 +137,20 @@ func (*Recorder) ThreadExit(t *machine.Thread) {}
 // Capture implements machine.Scheme.
 func (*Recorder) Capture(t *machine.Thread) any { return nil }
 
+// OnModuleLoad implements machine.ModuleObserver: module lifecycle is
+// part of the event stream, so replays churn modules exactly as the
+// recorded run did.
+func (r *Recorder) OnModuleLoad(t *machine.Thread, id prog.ModuleID) {
+	tls := t.State.(*recTLS)
+	tls.events = append(tls.events, Event{Kind: EvModLoad, Target: prog.FuncID(id)})
+}
+
+// OnModuleUnload implements machine.ModuleObserver.
+func (r *Recorder) OnModuleUnload(t *machine.Thread, id prog.ModuleID) {
+	tls := t.State.(*recTLS)
+	tls.events = append(tls.events, Event{Kind: EvModUnload, Target: prog.FuncID(id)})
+}
+
 // Trace returns the recorded trace. Call after the run completes.
 func (r *Recorder) Trace() *Trace {
 	r.mu.Lock()
@@ -129,6 +159,7 @@ func (r *Recorder) Trace() *Trace {
 	for tid := 0; tid < len(r.order); tid++ {
 		tls := r.streams[tid]
 		tr.Entries = append(tr.Entries, tls.entry)
+		tr.Idents = append(tr.Idents, tls.ident)
 		tr.Streams = append(tr.Streams, tls.events)
 	}
 	return tr
@@ -197,6 +228,13 @@ func ReplayProgram(p *prog.Program, tr *Trace) (*prog.Program, error) {
 				if int(ev.Target) < 0 || int(ev.Target) >= len(p.Funcs) {
 					return nil, fmt.Errorf("trace: thread %d event %d: spawn target f%d out of range", ti, j, ev.Target)
 				}
+			case EvModLoad, EvModUnload:
+				if int(ev.Target) < 0 || int(ev.Target) >= len(p.Modules) {
+					return nil, fmt.Errorf("trace: thread %d event %d: module %d out of range", ti, j, ev.Target)
+				}
+				if ev.Kind == EvModUnload && !p.Modules[ev.Target].Lazy {
+					return nil, fmt.Errorf("trace: thread %d event %d: unload of eager module %d", ti, j, ev.Target)
+				}
 			case EvWork:
 				if ev.Work < 0 {
 					return nil, fmt.Errorf("trace: thread %d event %d: negative work", ti, j)
@@ -215,7 +253,7 @@ func ReplayProgram(p *prog.Program, tr *Trace) (*prog.Program, error) {
 		Modules:     p.Modules,
 	}
 	cp.Funcs = make([]*prog.Function, len(p.Funcs))
-	rp := &replayer{p: cp, tr: tr}
+	rp := &replayer{p: cp, tr: tr, byIdent: identIndex(tr)}
 	for i, f := range p.Funcs {
 		nf := *f
 		nf.Body = rp.body()
@@ -224,10 +262,28 @@ func ReplayProgram(p *prog.Program, tr *Trace) (*prog.Program, error) {
 	return cp, nil
 }
 
+// identIndex maps each recorded thread ident to its stream index, or
+// nil when the trace carries no (usable) idents: pre-ident traces, and
+// corrupted traces where two streams claim the same ident.
+func identIndex(tr *Trace) map[uint64]int {
+	if len(tr.Idents) != len(tr.Streams) {
+		return nil
+	}
+	m := make(map[uint64]int, len(tr.Idents))
+	for i, id := range tr.Idents {
+		if _, dup := m[id]; dup {
+			return nil
+		}
+		m[id] = i
+	}
+	return m
+}
+
 // replayer drives bodies from the recorded per-thread cursors.
 type replayer struct {
-	p  *prog.Program
-	tr *Trace
+	p       *prog.Program
+	tr      *Trace
+	byIdent map[uint64]int
 
 	mu      sync.Mutex
 	cursors map[int]*cursor
@@ -246,11 +302,24 @@ func (rp *replayer) cursorFor(t *machine.Thread) *cursor {
 	}
 	c, ok := rp.cursors[t.ID()]
 	if !ok {
-		// Thread ids are assigned in spawn order, matching the recorded
-		// stream order for deterministic workloads.
-		idx := t.ID()
-		if idx >= len(rp.tr.Streams) {
-			idx = len(rp.tr.Streams) - 1
+		// Match the live thread to its recorded stream by spawn-tree
+		// ident: replayed spawns recreate the recording's spawn tree, so
+		// idents agree even when the OS schedules thread starts in a
+		// different order than the recording run did.
+		idx, ok := -1, false
+		if rp.byIdent != nil {
+			if i, hit := rp.byIdent[t.Ident()]; hit {
+				idx, ok = i, true
+			}
+		}
+		if !ok {
+			// Pre-ident traces: ids were assigned in spawn order,
+			// matching the recorded stream order for deterministic
+			// workloads.
+			idx = t.ID()
+			if idx >= len(rp.tr.Streams) {
+				idx = len(rp.tr.Streams) - 1
+			}
 		}
 		c = &cursor{events: rp.tr.Streams[idx]}
 		rp.cursors[t.ID()] = c
@@ -273,6 +342,18 @@ func (rp *replayer) body() prog.Body {
 			case EvSpawn:
 				cur.pos++
 				x.Spawn(ev.Target)
+			case EvModLoad:
+				cur.pos++
+				x.LoadModule(prog.ModuleID(ev.Target))
+			case EvModUnload:
+				cur.pos++
+				// Recorded unloads are always legal to replay; this guard
+				// only matters for hand-built or fuzzed traces, where an
+				// unload under the thread's own frames would otherwise be
+				// a machine panic.
+				if !th.FrameInModule(prog.ModuleID(ev.Target)) {
+					x.UnloadModule(prog.ModuleID(ev.Target))
+				}
 			case EvWork:
 				cur.pos++
 				x.Work(ev.Work)
@@ -297,7 +378,18 @@ func (rp *replayer) body() prog.Body {
 	}
 }
 
-// Write serializes the trace (varint binary).
+// maxThreads bounds deserialized thread counts; the first varint of the
+// versioned format is deliberately above it so version tags can never be
+// mistaken for a legacy thread count.
+const maxThreads = 1 << 20
+
+// formatV2 tags the ident-carrying serialization format. Older readers
+// reject it cleanly as an "implausible thread count".
+const formatV2 = maxThreads + 2
+
+// Write serializes the trace (varint binary). Traces carrying thread
+// idents use the v2 format; ident-less traces keep the legacy layout so
+// a Read→Write round trip is byte-identical.
 func Write(w io.Writer, tr *Trace) error {
 	bw := bufio.NewWriter(w)
 	put := func(v uint64) {
@@ -305,10 +397,17 @@ func Write(w io.Writer, tr *Trace) error {
 		n := binary.PutUvarint(buf[:], v)
 		bw.Write(buf[:n])
 	}
+	v2 := len(tr.Idents) == len(tr.Streams) && len(tr.Streams) > 0
+	if v2 {
+		put(formatV2)
+	}
 	put(uint64(len(tr.Streams)))
 	put(uint64(tr.SyntheticWork))
 	for i, s := range tr.Streams {
 		put(uint64(tr.Entries[i]))
+		if v2 {
+			put(tr.Idents[i])
+		}
 		put(uint64(len(s)))
 		for _, ev := range s {
 			put(uint64(ev.Kind))
@@ -316,7 +415,7 @@ func Write(w io.Writer, tr *Trace) error {
 			case EvCall:
 				put(uint64(ev.Site))
 				put(uint64(ev.Target))
-			case EvSpawn:
+			case EvSpawn, EvModLoad, EvModUnload:
 				put(uint64(ev.Target))
 			case EvWork:
 				put(uint64(ev.Work))
@@ -326,7 +425,7 @@ func Write(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write.
+// Read deserializes a trace written by Write, either format.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	get := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -334,8 +433,19 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading thread count: %w", err)
 	}
-	if nThreads > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+	v2 := false
+	if nThreads > maxThreads {
+		if nThreads != formatV2 {
+			return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+		}
+		v2 = true
+		nThreads, err = get()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading thread count: %w", err)
+		}
+		if nThreads > maxThreads {
+			return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+		}
 	}
 	synth, err := get()
 	if err != nil {
@@ -346,6 +456,13 @@ func Read(r io.Reader) (*Trace, error) {
 		entry, err := get()
 		if err != nil {
 			return nil, fmt.Errorf("trace: thread %d entry: %w", i, err)
+		}
+		if v2 {
+			ident, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("trace: thread %d ident: %w", i, err)
+			}
+			tr.Idents = append(tr.Idents, ident)
 		}
 		n, err := get()
 		if err != nil {
@@ -372,7 +489,7 @@ func Read(r io.Reader) (*Trace, error) {
 					return nil, err
 				}
 				ev.Site, ev.Target = prog.SiteID(site), prog.FuncID(target)
-			case EvSpawn:
+			case EvSpawn, EvModLoad, EvModUnload:
 				target, err := get()
 				if err != nil {
 					return nil, err

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dacce/internal/machine"
+)
+
+// base returns a minimal valid profile for validation tests.
+func validBase() Profile {
+	return Profile{Name: "v", Suite: SPECint, Seed: 1}
+}
+
+func TestValidateRejectsAdversarialKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+		want string
+	}{
+		{"negative-torture-depth", func(p *Profile) { p.TortureDepth = -1 }, "negative recursion depth"},
+		{"huge-torture-depth", func(p *Profile) { p.TortureDepth = 1<<20 + 1 }, "out of range"},
+		{"mega-zero-targets", func(p *Profile) { p.MegaSites = 2; p.MegaTargets = 0 }, "zero targets"},
+		{"mega-negative-targets", func(p *Profile) { p.MegaSites = 2; p.MegaTargets = -4 }, "zero targets"},
+		{"mega-too-many-sites", func(p *Profile) { p.MegaSites = 129; p.MegaTargets = 8 }, "out of range"},
+		{"mega-too-many-targets", func(p *Profile) { p.MegaSites = 1; p.MegaTargets = 8193 }, "out of range"},
+		{"negative-churn-modules", func(p *Profile) { p.ChurnModules = -1 }, "out of range"},
+		{"too-many-churn-modules", func(p *Profile) { p.ChurnModules = 65 }, "out of range"},
+		{"negative-churn-funcs", func(p *Profile) { p.ChurnFuncs = -2 }, "out of range"},
+		{"negative-churn-interval", func(p *Profile) { p.ChurnEvery = -5 }, "negative churn interval"},
+		{"negative-spawn-churn", func(p *Profile) { p.SpawnChurn = -1 }, "out of range"},
+		{"too-much-spawn-churn", func(p *Profile) { p.SpawnChurn = 1025 }, "out of range"},
+		{"spawn-rate-negative", func(p *Profile) { p.SpawnChurn = 4; p.SpawnRate = -0.1 }, "out of range"},
+		{"spawn-rate-above-one", func(p *Profile) { p.SpawnChurn = 4; p.SpawnRate = 1.5 }, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validBase()
+			tc.mut(&p)
+			var buf bytes.Buffer
+			if err := WriteProfiles(&buf, []Profile{p}); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadProfiles(&buf)
+			if err == nil {
+				t.Fatalf("invalid profile accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsAdversarialKnobs(t *testing.T) {
+	p := validBase()
+	p.ChurnModules = 2
+	p.ChurnFuncs = 3
+	p.ChurnEvery = 500
+	p.MegaSites = 2
+	p.MegaTargets = 128
+	p.TortureDepth = 4096
+	p.SpawnChurn = 32
+	p.SpawnRate = 0.1
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, []Profile{p}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProfiles(&buf); err != nil {
+		t.Fatalf("valid adversarial profile rejected: %v", err)
+	}
+}
+
+// TestProfilesUniqueNames guards the built-in profile table against
+// duplicate names, which would make ByName ambiguous and silently break
+// the bench CLIs' name-based selection.
+func TestProfilesUniqueNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range Profiles() {
+		if p.Name == "" {
+			t.Error("built-in profile with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate built-in profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+// runFamily builds and runs a small profile under a counting scheme,
+// returning the machine for counter checks.
+func runFamily(t *testing.T, pr Profile) (*machine.Machine, *machine.RunStats) {
+	t.Helper()
+	w := MustBuild(pr)
+	m := w.NewMachine(machine.NullScheme{}, machine.Config{})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rs
+}
+
+func TestModuleChurnFamily(t *testing.T) {
+	pr := Profile{
+		Name: "churn-smoke", Suite: SPECint, Seed: 9,
+		ExecFuncs: 12, TotalCalls: 10_000, CallsPerSec: 1e6,
+		ChurnModules: 2, ChurnFuncs: 3, ChurnEvery: 800,
+	}
+	_, rs := runFamily(t, pr)
+	if rs.C.ModuleLoads == 0 || rs.C.ModuleUnloads == 0 {
+		t.Errorf("churn run performed %d loads, %d unloads, want > 0",
+			rs.C.ModuleLoads, rs.C.ModuleUnloads)
+	}
+	if rs.C.ModuleLoads != rs.C.ModuleUnloads {
+		t.Errorf("unbalanced lifecycle: %d loads vs %d unloads", rs.C.ModuleLoads, rs.C.ModuleUnloads)
+	}
+}
+
+func TestTortureFamilyReachesDepth(t *testing.T) {
+	pr := Profile{
+		Name: "torture-smoke", Suite: SPECint, Seed: 9,
+		ExecFuncs: 12, TotalCalls: 30_000, CallsPerSec: 1e6,
+		TortureDepth: 700, MaxDepth: 32,
+	}
+	w := MustBuild(pr)
+	m := w.NewMachine(machine.NullScheme{}, machine.Config{SampleEvery: 1})
+	rs, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, s := range rs.Samples {
+		if len(s.Shadow) > max {
+			max = len(s.Shadow)
+		}
+	}
+	// Samples land at call prologues, one frame shy of the bottom.
+	if max < 699 {
+		t.Errorf("max sampled stack depth %d never reached the torture depth 700", max)
+	}
+}
+
+func TestSpawnChurnFamilySpawns(t *testing.T) {
+	pr := Profile{
+		Name: "spawn-smoke", Suite: Parsec, Seed: 9,
+		ExecFuncs: 12, Threads: 2, TotalCalls: 20_000, CallsPerSec: 1e6,
+		SpawnChurn: 10, SpawnRate: 0.2,
+	}
+	m, rs := runFamily(t, pr)
+	// 2 base threads plus at least one ephemeral spawn per root.
+	if rs.Threads <= 2 {
+		t.Errorf("spawn churn created %d threads, want > 2", rs.Threads)
+	}
+	idents := make(map[uint64]bool)
+	for _, th := range m.Threads() {
+		if idents[th.Ident()] {
+			t.Fatalf("duplicate ident %#x under spawn churn", th.Ident())
+		}
+		idents[th.Ident()] = true
+	}
+}
+
+func TestMegaIndirectFamilyCoversPool(t *testing.T) {
+	pr := Profile{
+		Name: "mega-smoke", Suite: SPECint, Seed: 9,
+		ExecFuncs: 12, TotalCalls: 40_000, CallsPerSec: 1e6,
+		MegaSites: 2, MegaTargets: 64,
+	}
+	w := MustBuild(pr)
+	counts, err := w.CollectProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct executed mega targets: functions named mega%d.
+	hit := make(map[string]bool)
+	for k, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		name := w.P.Funcs[k.Target].Name
+		if strings.HasPrefix(name, "mega") {
+			hit[name] = true
+		}
+	}
+	// The discovery burst sweeps the pool uniformly; expect the large
+	// majority of the 64 targets executed.
+	if len(hit) < 48 {
+		t.Errorf("only %d of 64 mega targets executed", len(hit))
+	}
+}

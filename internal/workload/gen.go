@@ -29,6 +29,7 @@ func (g *generator) generate() (*Workload, error) {
 
 	g.makeModulesAndFuncs()
 	g.makeExecutedSites()
+	g.makeAdversarial()
 	g.makeColdSites()
 	g.assignWeights()
 	g.installBodies()
@@ -258,11 +259,133 @@ func (g *generator) makeExecutedSites() {
 		}
 		si := g.addSite(caller, g.b.IndirectSite(caller.id, declared...), clIndirect)
 		si.targets = actual
+		si.declared = len(declared)
 		if pr.HotIndirect {
 			// Inner-loop dispatch: each visit performs a burst of
 			// indirect calls, as codec/interpreter loops do.
 			si.repeat = 12
 		}
+	}
+}
+
+// makeAdversarial builds the opt-in adversarial families (ISSUE 7):
+// dlopen-churn modules, mega-indirect dispatch, the recursion-torture
+// cluster, and the ephemeral spawn-churn entry. Their functions carry
+// dedicated bodies registered here, outside the generic driver tables;
+// the root-body drivers in bodyFor fire them on schedule.
+func (g *generator) makeAdversarial() {
+	pr := g.prof
+	w := g.w
+
+	// Module churn: each churn module holds a private call chain
+	// f0 → f1 → … reached through a gateway site on main. The driver
+	// loads the module, runs the chain a few times, and unloads it —
+	// contexts captured inside the window must outlive the dlclose.
+	for i := 0; i < pr.ChurnModules; i++ {
+		mod := g.b.Module(fmt.Sprintf("churn%d.so", i), true)
+		chain := make([]prog.FuncID, pr.ChurnFuncs)
+		for j := range chain {
+			chain[j] = g.b.FuncIn(fmt.Sprintf("churn%d_f%d", i, j), mod)
+		}
+		for j := 0; j+1 < len(chain); j++ {
+			s := g.b.CallSite(chain[j], chain[j+1])
+			g.b.Body(chain[j], func(x prog.Exec) {
+				x.Work(1)
+				x.Call(s, prog.NoFunc)
+			})
+		}
+		g.b.Leaf(chain[len(chain)-1], 1)
+		w.churnMods = append(w.churnMods, mod)
+		w.churnGates = append(w.churnGates, g.b.CallSite(g.main.id, chain[0]))
+	}
+
+	// Mega-indirect: a shared pool of leaf targets, and root-hosted
+	// indirect sites declaring (and actually calling) the whole pool.
+	// The sites join the generic driver tables, so assignWeights gives
+	// them per-phase target distributions; the discovery burst sweeps
+	// the pool uniformly, promoting each site far past any inline
+	// compare chain.
+	if pr.MegaSites > 0 {
+		pool := make([]prog.FuncID, pr.MegaTargets)
+		for i := range pool {
+			pool[i] = g.b.Func(fmt.Sprintf("mega%d", i))
+			g.b.Leaf(pool[i], 1)
+		}
+		roots := append([]*fnInfo{g.main}, g.wrk...)
+		for i := 0; i < pr.MegaSites; i++ {
+			root := roots[i%len(roots)]
+			si := g.addSite(root, g.b.IndirectSite(root.id, pool...), clIndirect)
+			si.targets = pool
+			si.declared = len(pool)
+			si.repeat = 4
+		}
+	}
+
+	// Recursion torture: tortureA self-recurses in long streaks (the
+	// immediately repetitive pattern Fig. 5e collapses), occasionally
+	// handing off to the mutually recursive pair tortureB ⇄ tortureC
+	// (the period-2 pattern it cannot), until the stack reaches
+	// TortureDepth. The main root paces descents via tortGate.
+	if pr.TortureDepth > 0 {
+		depth := pr.TortureDepth
+		tortA := g.b.Func("tortureA")
+		tortB := g.b.Func("tortureB")
+		tortC := g.b.Func("tortureC")
+		w.tortGate = g.b.CallSite(g.main.id, tortA)
+		siteAA := g.b.CallSite(tortA, tortA)
+		siteAB := g.b.CallSite(tortA, tortB)
+		siteBC := g.b.CallSite(tortB, tortC)
+		siteCB := g.b.CallSite(tortC, tortB)
+		g.b.Body(tortA, func(x prog.Exec) {
+			x.Work(1)
+			if x.Depth() >= depth {
+				return
+			}
+			if x.Rand().Float64() < 0.9 {
+				x.Call(siteAA, prog.NoFunc)
+			} else {
+				x.Call(siteAB, prog.NoFunc)
+			}
+		})
+		g.b.Body(tortB, func(x prog.Exec) {
+			x.Work(1)
+			if x.Depth() < depth {
+				x.Call(siteBC, prog.NoFunc)
+			}
+		})
+		g.b.Body(tortC, func(x prog.Exec) {
+			x.Work(1)
+			if x.Depth() < depth {
+				x.Call(siteCB, prog.NoFunc)
+			}
+		})
+		w.hasTorture = true
+		w.tortStride = 3 * int64(depth)
+	}
+
+	// Spawn churn: a registered thread root making a short burst of
+	// calls into layer 1 and exiting. Root threads spawn it on a coin
+	// flip each loop iteration, so thread creation and teardown overlap
+	// the whole run. The body is shared by every ephemeral thread and
+	// must stay stateless — per-thread variation comes from x.Rand().
+	if pr.SpawnChurn > 0 {
+		eph := g.b.Func("ephemeral")
+		g.b.ThreadRoot(eph)
+		var ephSites []prog.SiteID
+		for k, tgt := range g.byLayer[1] {
+			if k >= 3 {
+				break
+			}
+			ephSites = append(ephSites, g.b.CallSite(eph, tgt.id))
+		}
+		g.b.Body(eph, func(x prog.Exec) {
+			x.Work(1)
+			for _, s := range ephSites {
+				x.Call(s, prog.NoFunc)
+			}
+		})
+		w.ephemeral = eph
+		w.hasSpawner = true
 	}
 }
 
@@ -281,7 +404,7 @@ func (g *generator) makeColdSites() {
 		}
 		for _, si := range f.sites {
 			if si.class == clIndirect {
-				staticNow += pr.DeclaredTargets
+				staticNow += si.declared
 			} else {
 				staticNow++
 			}
@@ -444,7 +567,16 @@ func (g *generator) installBodies() {
 func (w *Workload) bodyFor(f *fnInfo) prog.Body {
 	if f.isRoot {
 		return func(x prog.Exec) {
-			if f.id == w.P.Entry {
+			// Adversarial driver state lives inside the invocation: the
+			// same Workload is re-run under every scheme, and a root
+			// body executes exactly once per thread, so these reset per
+			// run and never race.
+			isMain := f.id == w.P.Entry
+			churnIdx := 0
+			churnNext := w.Prof.ChurnEvery
+			tortNext := w.tortStride / 4
+			spawned := 0
+			if isMain {
 				for _, wk := range w.workers {
 					x.Spawn(wk)
 				}
@@ -452,6 +584,25 @@ func (w *Workload) bodyFor(f *fnInfo) prog.Body {
 			for x.CallCount() < w.budgetPerThrd {
 				before := x.CallCount()
 				w.runSites(f, x)
+				if w.hasSpawner && spawned < w.Prof.SpawnChurn &&
+					x.Rand().Float64() < w.Prof.SpawnRate {
+					spawned++
+					x.Spawn(w.ephemeral)
+				}
+				if isMain && len(w.churnMods) > 0 && x.CallCount() >= churnNext {
+					churnNext += w.Prof.ChurnEvery
+					k := churnIdx % len(w.churnMods)
+					churnIdx++
+					x.LoadModule(w.churnMods[k])
+					for n := 0; n < 3; n++ {
+						x.Call(w.churnGates[k], prog.NoFunc)
+					}
+					x.UnloadModule(w.churnMods[k])
+				}
+				if isMain && w.hasTorture && x.CallCount() >= tortNext {
+					tortNext += w.tortStride
+					x.Call(w.tortGate, prog.NoFunc)
+				}
 				if x.CallCount() == before {
 					// Nothing fired this round (improbable weights);
 					// force progress through the first site.

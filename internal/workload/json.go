@@ -72,5 +72,35 @@ func validateProfile(p *Profile) error {
 		p.RecSites < 0 || p.TailSites < 0 || p.LazyModules < 0 || p.LazyFuncs < 0 {
 		return fmt.Errorf("negative site counts")
 	}
+	if p.TortureDepth < 0 {
+		return fmt.Errorf("negative recursion depth %d", p.TortureDepth)
+	}
+	if p.TortureDepth > 1<<20 {
+		return fmt.Errorf("torture depth %d out of range [0, %d]", p.TortureDepth, 1<<20)
+	}
+	if p.MegaSites < 0 || p.MegaSites > 128 {
+		return fmt.Errorf("mega sites %d out of range [0, 128]", p.MegaSites)
+	}
+	if p.MegaSites > 0 && p.MegaTargets <= 0 {
+		return fmt.Errorf("mega-indirect with zero targets")
+	}
+	if p.MegaTargets < 0 || p.MegaTargets > 8192 {
+		return fmt.Errorf("mega targets %d out of range [0, 8192]", p.MegaTargets)
+	}
+	if p.ChurnModules < 0 || p.ChurnModules > 64 {
+		return fmt.Errorf("churn modules %d out of range [0, 64]", p.ChurnModules)
+	}
+	if p.ChurnFuncs < 0 || p.ChurnFuncs > 256 {
+		return fmt.Errorf("churn funcs %d out of range [0, 256]", p.ChurnFuncs)
+	}
+	if p.ChurnEvery < 0 {
+		return fmt.Errorf("negative churn interval")
+	}
+	if p.SpawnChurn < 0 || p.SpawnChurn > 1024 {
+		return fmt.Errorf("spawn churn %d out of range [0, 1024]", p.SpawnChurn)
+	}
+	if p.SpawnRate < 0 || p.SpawnRate > 1 {
+		return fmt.Errorf("spawn rate %v out of range [0, 1]", p.SpawnRate)
+	}
 	return nil
 }

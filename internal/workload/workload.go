@@ -116,6 +116,42 @@ type Profile struct {
 	// Phases is how many times the hot paths rotate during a run; each
 	// rotation re-draws the site weights (drives adaptive re-encoding).
 	Phases int
+
+	// Adversarial families (one knob enables each; all default off).
+	// They exercise the encoder where the paper's design is most
+	// exposed: dictionary immutability across dlclose, inline-chain vs
+	// hash dispatch at extreme polymorphism, ccStack compression under
+	// deep mixed recursion, and spawn-context capture under thread
+	// churn.
+
+	// ChurnModules adds dlopen-churn modules: lazy modules the main
+	// thread loads, calls a ChurnFuncs-long chain inside, and unloads
+	// again, rotating to the next module every ChurnEvery calls.
+	// Contexts captured while a module was loaded must stay decodable
+	// after it is gone.
+	ChurnModules int
+	ChurnFuncs   int
+	ChurnEvery   int64
+
+	// MegaSites adds mega-indirect dispatch sites on the root
+	// functions, each fanning out to a shared pool of MegaTargets leaf
+	// functions — polymorphic enough to push the site past any inline
+	// compare chain into hash dispatch (paper Fig. 4).
+	MegaSites   int
+	MegaTargets int
+
+	// TortureDepth enables the recursion-torture cluster: a dedicated
+	// self-recursive function feeding a mutually recursive pair, driven
+	// to this absolute stack depth with mixed back-edge patterns
+	// (Fig. 5e's compression worst cases). 0 disables the cluster.
+	TortureDepth int
+
+	// SpawnChurn caps how many short-lived ephemeral threads each root
+	// thread spawns over its run; SpawnRate is the per-iteration spawn
+	// probability. Every ephemeral thread carries a spawn-edge context
+	// that must decode through its parent chain.
+	SpawnChurn int
+	SpawnRate  float64
 }
 
 // fill applies defaults for zero fields.
@@ -162,6 +198,20 @@ func (p *Profile) fill() {
 	if p.StaticEdges < p.ExecEdges {
 		p.StaticEdges = p.ExecEdges
 	}
+	if p.ChurnModules > 0 {
+		if p.ChurnFuncs == 0 {
+			p.ChurnFuncs = 4
+		}
+		if p.ChurnEvery == 0 {
+			p.ChurnEvery = 2000
+		}
+	}
+	if p.MegaSites > 0 && p.MegaTargets == 0 {
+		p.MegaTargets = 64
+	}
+	if p.SpawnChurn > 0 && p.SpawnRate == 0 {
+		p.SpawnRate = 0.02
+	}
 }
 
 // siteClass classifies a generated site for the body driver.
@@ -184,6 +234,10 @@ type siteInfo struct {
 	// repeat invokes the site this many times per firing (inner-loop
 	// dispatch; 0 means once).
 	repeat int
+	// declared is the static out-degree an indirect site contributes to
+	// the static edge budget (DeclaredTargets for ordinary sites, the
+	// full pool size for mega-indirect sites).
+	declared int
 	// pPhase is the invocation probability per phase.
 	pPhase []float64
 	// targets and tPhase drive indirect target choice: per phase, a
@@ -211,6 +265,15 @@ type Workload struct {
 	budgetPerThrd int64
 	workPerCall   int64
 	phaseLen      int64
+
+	// Adversarial driver tables (zero-valued when the family is off).
+	churnMods  []prog.ModuleID // dlopen-churn modules, rotation order
+	churnGates []prog.SiteID   // main → chain head of churnMods[i]
+	tortGate   prog.SiteID     // main → tortureA descent gateway
+	tortStride int64           // calls between torture descents
+	hasTorture bool
+	ephemeral  prog.FuncID // spawn-churn thread entry
+	hasSpawner bool
 }
 
 // Build generates the workload for a profile.
