@@ -8,6 +8,7 @@
 //	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
 //	daccebench obs    [-threads 1,2,4]                observability-overhead suite
 //	daccebench adversarial [-targets 2,16,1024]       adversarial-workload suite
+//	daccebench pause  [-edges 10000,1000000]          pause-vs-graph-size suite
 //	daccebench all    [-calls N]                      everything
 //
 // Every subcommand accepts -cpuprofile/-memprofile (pprof output) and
@@ -66,9 +67,13 @@ func run() int {
 	compare := fs.Bool("compare", false, "steady/warmup: also run the mutex-serialized comparison build and report speedups")
 	noReplay := fs.Bool("no-replay", false, "warmup: skip the warm-start replay rows")
 	ccprofOut := fs.String("ccprof-out", "", "steady: write the streaming context profile to this file (pprof protobuf; folded text for .folded names)")
-	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3)")
+	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3); pause: measured passes per cell (default 5)")
 	targets := fs.String("targets", "", "adversarial: comma-separated mega-indirect target counts (default 2,4,8,16,64,256,1024)")
 	depth := fs.Int("depth", 0, "adversarial: recursion-torture depth (default 100000)")
+	edgesFlag := fs.String("edges", "", "pause: comma-separated base graph sizes (default 10000,100000,1000000)")
+	deltasFlag := fs.String("deltas", "", "pause: comma-separated per-pass injection sizes (default 64,4096)")
+	modesFlag := fs.String("modes", "", "pause: comma-separated modes (default incremental,full,serialized)")
+	sloPauseP99 := fs.Float64("slo-pause-p99", 0, "pause: fail if any incremental p99 pause exceeds this many microseconds (0 = off)")
 	_ = fs.Parse(os.Args[2:])
 
 	if *version || cmd == "-version" || cmd == "version" {
@@ -158,6 +163,8 @@ func run() int {
 		err = runObs(*threadsFlag, *calls, *sample, *reps, *benchJSON)
 	case "adversarial":
 		err = runAdversarial(*targets, *threadsFlag, *calls, *sample, *depth, *benchJSON)
+	case "pause":
+		err = runPause(*edgesFlag, *deltasFlag, *modesFlag, *reps, *sloPauseP99, *benchJSON)
 	case "all":
 		if err = runTable1(profiles(), cfg, true); err == nil {
 			if err = runFig9(experiments.Fig9Names, cfg); err == nil {
@@ -417,6 +424,71 @@ func runAdversarial(targetsCSV, threadsCSV string, calls, sampleEvery int64, dep
 	return nil
 }
 
+// runPause drives the pause-vs-graph-size suite and renders a summary
+// table; -bench-json additionally writes the full report in the
+// BENCH_pause.json format. With -slo-pause-p99 the suite exits non-zero
+// when any incremental row's p99 pause exceeds the budget — the CI
+// smoke gate.
+func runPause(edgesCSV, deltasCSV, modesCSV string, reps int, sloPauseP99 float64, jsonOut string) error {
+	cfg := experiments.PauseConfig{
+		Reps:          reps,
+		SLOPauseP99Us: sloPauseP99,
+	}
+	var err error
+	if cfg.Edges, err = parseThreads(edgesCSV, nil); err != nil {
+		return fmt.Errorf("bad -edges list: %w", err)
+	}
+	if cfg.Deltas, err = parseThreads(deltasCSV, nil); err != nil {
+		return fmt.Errorf("bad -deltas list: %w", err)
+	}
+	if modesCSV != "" {
+		for _, m := range strings.Split(modesCSV, ",") {
+			cfg.Modes = append(cfg.Modes, strings.TrimSpace(m))
+		}
+	}
+	rep, sloErr := experiments.Pause(cfg)
+	if rep == nil {
+		return sloErr
+	}
+	fmt.Printf("# Re-encoding pause vs graph size (GOMAXPROCS=%d, NumCPU=%d, %d passes per cell)\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.Config.Reps)
+	fmt.Printf("%-9s %-7s %-12s %11s %11s %11s %11s %10s %10s\n",
+		"edges", "delta", "mode", "pause-p50", "pause-p99", "pause-max", "prep-mean", "changed", "rebuilt")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-9d %-7d %-12s %9.1fus %9.1fus %9.1fus %9.1fus %10.0f %10.0f\n",
+			r.Edges, r.Delta, r.Mode, r.PauseP50Us, r.PauseP99Us, r.PauseMaxUs,
+			r.PrepareMeanUs, r.ChangedEdges, r.SitesRebuilt)
+	}
+	for _, r := range rep.Rows {
+		if r.Mode != "incremental" {
+			continue
+		}
+		key := fmt.Sprintf("%d/%d", r.Edges, r.Delta)
+		var parts []string
+		if v, ok := rep.P99RatioFullOverIncr[key]; ok {
+			parts = append(parts, fmt.Sprintf("p99-full/incr=%.1fx", v))
+		}
+		if v, ok := rep.P99RatioSerOverIncr[key]; ok {
+			parts = append(parts, fmt.Sprintf("p99-serialized/incr=%.1fx", v))
+		}
+		if len(parts) > 0 {
+			fmt.Printf("edges=%d delta=%d %s\n", r.Edges, r.Delta, strings.Join(parts, " "))
+		}
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "pause report written to", jsonOut)
+	}
+	return sloErr
+}
+
 // parseThreads parses a -threads CSV, returning def untouched when the
 // flag was not given.
 func parseThreads(csv string, def []int) ([]int, error) {
@@ -435,7 +507,7 @@ func parseThreads(csv string, def []int) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|adversarial|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-targets 2,16,1024] [-depth N] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|adversarial|pause|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-targets 2,16,1024] [-depth N] [-edges 10000,1000000] [-deltas 64,4096] [-modes incremental,full,serialized] [-slo-pause-p99 US] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -24,10 +24,17 @@ package blenc
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"dacce/internal/graph"
 	"dacce/internal/prog"
 )
+
+// freqOf reads an edge's observed frequency atomically: encoding passes
+// may run concurrently with live threads (the adaptive runtime's
+// concurrent prepare), whose traps and sampling controller bump Freq
+// with atomic adds.
+func freqOf(e *graph.Edge) int64 { return atomic.LoadInt64(&e.Freq) }
 
 // Code is the per-edge result of an encoding pass.
 type Code struct {
@@ -141,7 +148,7 @@ func Encode(g *graph.Graph, opt Options) *Assignment {
 	a.Overflowed = true
 	unrestricted := a.UnrestrictedMaxID
 	for _, e := range g.Edges {
-		if eligible(e) && e.Freq == 0 {
+		if eligible(e) && freqOf(e) == 0 {
 			excluded[e] = true
 		}
 	}
@@ -162,7 +169,7 @@ func Encode(g *graph.Graph, opt Options) *Assignment {
 			remaining = append(remaining, e)
 		}
 	}
-	sort.SliceStable(remaining, func(i, j int) bool { return remaining[i].Freq < remaining[j].Freq })
+	sort.SliceStable(remaining, func(i, j int) bool { return freqOf(remaining[i]) < freqOf(remaining[j]) })
 	for len(remaining) > 0 {
 		drop := (len(remaining) + 1) / 2
 		for _, e := range remaining[:drop] {
@@ -212,8 +219,9 @@ func pass(g *graph.Graph, topo []*graph.Node, eligible func(*graph.Edge) bool, e
 		}
 		if hotFirst {
 			sort.SliceStable(ins, func(i, j int) bool {
-				if ins[i].Freq != ins[j].Freq {
-					return ins[i].Freq > ins[j].Freq
+				fi, fj := freqOf(ins[i]), freqOf(ins[j])
+				if fi != fj {
+					return fi > fj
 				}
 				return ins[i].Seq < ins[j].Seq
 			})

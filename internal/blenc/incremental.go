@@ -23,8 +23,13 @@ import (
 //
 // The returned changed set lists the edges whose codes differ from
 // prev (including the new ones); the caller only needs to repatch
-// those sites.
-func Refresh(g *graph.Graph, prev *Assignment, added []*graph.Edge, opt Options) (a *Assignment, changed []graph.EdgeKey, full bool) {
+// those sites. affected is the set of renumbered nodes — a superset of
+// the targets of changed edges, needed by delta decode-index rebuilds
+// because a node's in-edge ranges depend on its callers' numCC, which
+// can change even when no in-edge code does (e.g. a single in-edge
+// keeps code 0 while its caller's numCC grows). affected is nil when
+// full is true (everything changed).
+func Refresh(g *graph.Graph, prev *Assignment, added []*graph.Edge, opt Options) (a *Assignment, changed []graph.EdgeKey, affected map[prog.FuncID]bool, full bool) {
 	budget := opt.Budget
 	if budget == 0 {
 		budget = DefaultBudget
@@ -47,7 +52,7 @@ func Refresh(g *graph.Graph, prev *Assignment, added []*graph.Edge, opt Options)
 
 	// Affected set: targets of added edges plus everything reachable
 	// from them through non-back edges.
-	affected := make(map[prog.FuncID]bool)
+	affected = make(map[prog.FuncID]bool)
 	var stack []prog.FuncID
 	mark := func(fn prog.FuncID) {
 		if !affected[fn] {
@@ -166,16 +171,16 @@ func Refresh(g *graph.Graph, prev *Assignment, added []*graph.Edge, opt Options)
 			changed = append(changed, key)
 		}
 	}
-	return a, changed, false
+	return a, changed, affected, false
 }
 
 // fullRefresh is the fallback: a complete Encode, with every edge
-// reported as changed.
-func fullRefresh(g *graph.Graph, prev *Assignment, opt Options) (*Assignment, []graph.EdgeKey, bool) {
+// reported as changed and a nil affected set.
+func fullRefresh(g *graph.Graph, prev *Assignment, opt Options) (*Assignment, []graph.EdgeKey, map[prog.FuncID]bool, bool) {
 	a := Encode(g, opt)
 	changed := make([]graph.EdgeKey, 0, len(a.Codes))
 	for key := range a.Codes {
 		changed = append(changed, key)
 	}
-	return a, changed, true
+	return a, changed, nil, true
 }

@@ -21,9 +21,12 @@ func TestRefreshKeepsUnaffectedCodes(t *testing.T) {
 	}
 	prev := Encode(g2, Options{})
 	added, _ := g2.AddEdge(fx.S("DF"), fx.F("F"))
-	a, changed, full := Refresh(g2, prev, []*graph.Edge{added}, Options{})
+	a, changed, affected, full := Refresh(g2, prev, []*graph.Edge{added}, Options{})
 	if full {
 		t.Fatal("acyclic addition fell back to full encode")
+	}
+	if !affected[fx.F("F")] {
+		t.Error("target of the added edge not in the affected set")
 	}
 	for _, s := range []string{"AB", "AC", "BD", "CD", "DE"} {
 		key := graph.EdgeKey{Site: fx.S(s), Target: fx.P.Site(fx.S(s)).Target}
@@ -64,7 +67,7 @@ func TestRefreshFallsBackOnNewCycle(t *testing.T) {
 	// C→A? No such site in Fig5 — instead check the DA addition is
 	// handled (either incrementally with DA unencoded, or fully).
 	added, _ := g.AddEdge(fx.S("DA"), fx.F("A"))
-	a, _, _ := Refresh(g, prev, []*graph.Edge{added}, Options{})
+	a, _, _, _ := Refresh(g, prev, []*graph.Edge{added}, Options{})
 	c, ok := a.CodeOf(added)
 	if !ok {
 		t.Fatal("added edge missing from snapshot")
@@ -121,7 +124,7 @@ func TestRefreshInvariants(t *testing.T) {
 				prev = Encode(g, Options{})
 				continue
 			}
-			a, _, _ := Refresh(g, prev, added, Options{})
+			a, _, _, _ := Refresh(g, prev, added, Options{})
 			prev = a
 		}
 

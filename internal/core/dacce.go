@@ -214,6 +214,7 @@ type DACCE struct {
 	// a trap and an external decode are each rare enough that one
 	// lock-free Observe is noise.
 	pauseHist  *telemetry.Histogram // STW re-encoding pause, wall ns
+	prepHist   *telemetry.Histogram // concurrent-prepare (off-pause) duration, wall ns
 	trapHist   *telemetry.Histogram // runtime-handler trap latency, wall ns
 	decodeHist *telemetry.Histogram // external Decode latency, wall ns
 
@@ -233,6 +234,11 @@ type DACCE struct {
 	samplesSeen atomic.Int64
 
 	stats Stats
+
+	// lastPlan is the plan the most recent pass committed, kept (under
+	// mu) for the white-box delta-vs-full equivalence tests; production
+	// code never reads it.
+	lastPlan *passPlan
 }
 
 // capturePool recycles Capture snapshots (and their ccStack copy
@@ -262,6 +268,7 @@ func New(p *prog.Program, opt Options) *DACCE {
 		g:          graph.New(p),
 		sink:       opt.Sink,
 		pauseHist:  telemetry.NewHistogram(telemetry.DurationBuckets()),
+		prepHist:   telemetry.NewHistogram(telemetry.DurationBuckets()),
 		trapHist:   telemetry.NewHistogram(telemetry.DurationBuckets()),
 		decodeHist: telemetry.NewHistogram(telemetry.DurationBuckets()),
 	}
@@ -564,6 +571,12 @@ func (d *DACCE) SetContextObserver(o ContextObserver) {
 // quantiles or wire it into an SLO watchdog rule.
 func (d *DACCE) PauseHist() *telemetry.Histogram { return d.pauseHist }
 
+// PrepareHist returns the live concurrent-prepare duration histogram:
+// the off-pause portion of each bounded-pause re-encoding (assignment +
+// decode-index construction with the world still running). Classic
+// all-in-pause passes do not observe into it.
+func (d *DACCE) PrepareHist() *telemetry.Histogram { return d.prepHist }
+
 // TrapHist returns the live runtime-handler latency histogram (wall
 // nanoseconds per trap).
 func (d *DACCE) TrapHist() *telemetry.Histogram { return d.trapHist }
@@ -576,3 +589,49 @@ func (d *DACCE) DecodeHist() *telemetry.Histogram { return d.decodeHist }
 // re-encoding pass — the watchdog's backlog source: a runaway value
 // means discovery is outpacing the adaptive controller.
 func (d *DACCE) TrapBacklog() int64 { return d.newEdges.Load() }
+
+// Discovery names one synthetic edge observation for InjectDiscoveries.
+type Discovery struct {
+	Site prog.SiteID
+	Fn   prog.FuncID
+	// Freq is the observed invocation count credited to the edge
+	// (minimum 1); it drives the hottest-first ordering exactly like
+	// trap- and sample-credited frequency does.
+	Freq int64
+}
+
+// InjectDiscoveries feeds a batch of edge observations through the same
+// bookkeeping a runtime-handler trap performs — graph insertion and
+// registration, frequency credit, trigger counters, pendingNew — but
+// without executing any call. It exists for the experiment suites
+// (notably the pause suite), which need to stage graphs of a precise
+// size and delta and then measure a single re-encoding pass: going
+// through the graph directly would bypass pendingNew and starve the
+// incremental Refresh of the additions it renumbers. No pass is
+// triggered; pair with ReencodeNow.
+func (d *DACCE) InjectDiscoveries(batch []Discovery) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	installed := d.m.Load() != nil
+	var fresh []*graph.Edge
+	for _, disc := range batch {
+		freq := disc.Freq
+		if freq < 1 {
+			freq = 1
+		}
+		e, isNew := d.g.DiscoverEdge(disc.Site, disc.Fn)
+		atomic.AddInt64(&e.Freq, freq)
+		if !isNew {
+			continue
+		}
+		fresh = append(fresh, e)
+		d.edgesDiscovered.Add(1)
+		d.newEdges.Add(1)
+		d.edgeCount.Add(1)
+		if installed {
+			d.rebuildSite(disc.Site)
+		}
+	}
+	d.g.RegisterEdges(fresh)
+	d.pendingNew = append(d.pendingNew, fresh...)
+}

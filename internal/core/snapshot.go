@@ -122,3 +122,78 @@ func newDecodeIndex(g *graph.Graph, asn *blenc.Assignment) *decodeIndex {
 	}
 	return ix
 }
+
+// deltaDecodeIndex derives the next epoch's decode index from the
+// previous one after an incremental Refresh, rebuilding in-edge lists
+// only for the functions the pass renumbered. It mirrors the
+// encSnap/compress copy-on-write idiom: the map headers are copied (an
+// O(nodes + edges) pointer copy, paid off-pause during the concurrent
+// prepare), but the in-edge lists of unaffected functions are shared
+// with the previous epoch and no code or numCC is recomputed for them.
+//
+// The dirty set is affected ∪ targets(changed): affected alone would
+// already suffice — a function's in-edge ranges depend only on its own
+// in-edge codes and its callers' numCC, both of which only change for
+// renumbered nodes — but the union keeps the index sound even against
+// a Refresh that reports a changed edge outside its affected closure.
+//
+// Returns the new index and how many in-edge entries were (re)built,
+// for per-phase cost attribution.
+func deltaDecodeIndex(g *graph.Graph, prev *decodeIndex, asn *blenc.Assignment, changed []graph.EdgeKey, affected map[prog.FuncID]bool) (*decodeIndex, int) {
+	dirty := make(map[prog.FuncID]bool, len(affected)+len(changed))
+	for fn := range affected {
+		dirty[fn] = true
+	}
+	for _, k := range changed {
+		dirty[k.Target] = true
+	}
+
+	ix := &decodeIndex{
+		in:    make(map[prog.FuncID][]inEdge, len(prev.in)+len(dirty)),
+		edges: make(map[graph.EdgeKey]*graph.Edge, len(prev.edges)+len(changed)),
+	}
+	for k, e := range prev.edges {
+		ix.edges[k] = e
+	}
+	for _, k := range changed {
+		if _, ok := ix.edges[k]; !ok {
+			if e := g.Edge(k.Site, k.Target); e != nil {
+				ix.edges[k] = e
+			}
+		}
+	}
+	for fn, list := range prev.in {
+		if !dirty[fn] {
+			ix.in[fn] = list
+		}
+	}
+	rebuilt := 0
+	for fn := range dirty {
+		n := g.Node(fn)
+		if n == nil {
+			continue
+		}
+		// Node.In insertion order is the g.Edges registration order
+		// filtered to this target, so the rebuilt list matches what
+		// newDecodeIndex would produce entry for entry.
+		var list []inEdge
+		for _, e := range n.In {
+			key := graph.EdgeKey{Site: e.Site, Target: e.Target}
+			code, ok := asn.Codes[key]
+			if !ok || !code.Encoded {
+				continue
+			}
+			list = append(list, inEdge{
+				site:   e.Site,
+				caller: e.Caller,
+				code:   code.Value,
+				ncc:    asn.NumCC[e.Caller],
+			})
+			rebuilt++
+		}
+		if len(list) > 0 {
+			ix.in[fn] = list
+		}
+	}
+	return ix, rebuilt
+}

@@ -2,7 +2,13 @@ package core
 
 import "dacce/internal/machine"
 
-// EpochRecord summarizes one re-encoding pass.
+// EpochRecord summarizes one re-encoding pass: what it produced, how it
+// ran (incremental / concurrent-prepare), how much work each phase did,
+// and what each phase cost — both in model cycles (CostCycles is the
+// sum of the four phase costs, so Table 1's "costs" column still adds
+// up) and in measured wall time. Renumbering and index construction run
+// off-pause on the concurrent path; stub rebuild and thread translation
+// always run inside the stop-the-world window.
 type EpochRecord struct {
 	Epoch        uint32
 	AtSample     int64 // samplesSeen when the pass ran (Fig. 9 x-axis)
@@ -12,6 +18,36 @@ type EpochRecord struct {
 	MaxID        uint64
 	Overflowed   bool
 	CostCycles   int64
+
+	// Incremental: the pass renumbered only the affected subgraph
+	// (blenc.Refresh without fallback). Concurrent: assignment and
+	// decode index were prepared with the world still running.
+	Incremental bool
+	Concurrent  bool
+
+	// Per-phase work volume.
+	ChangedEdges      int // edges whose code differs from the previous epoch
+	IndexEntries      int // decode-index in-edge entries (re)built
+	SitesRebuilt      int // call-site stubs regenerated
+	ThreadsTranslated int // threads whose TLS/frames were replayed
+	ThreadsSkipped    int // live threads left untouched (selective translation)
+	FramesReplayed    int // active frames rewritten across translated threads
+
+	// Per-phase model cost; CostCycles is their sum.
+	RenumberCost  int64
+	IndexCost     int64
+	StubCost      int64
+	TranslateCost int64
+
+	// Per-phase wall time. PrepareNanos is the off-pause portion
+	// (renumber + index on the concurrent path; 0 for classic passes);
+	// PauseNanos is the stop-the-world window.
+	RenumberNanos  int64
+	IndexNanos     int64
+	StubNanos      int64
+	TranslateNanos int64
+	PrepareNanos   int64
+	PauseNanos     int64
 }
 
 // ProgressPoint is one point of the Fig. 9 progress series: how many

@@ -53,7 +53,15 @@ const (
 // applyAction performs the prologue side of an action on TLS st and
 // returns the cookie its epilogue needs. t carries cost accounting and
 // is nil during re-encoding replay (translation charges separately).
-func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target prog.FuncID, act edgeAction, markID uint64) machine.Cookie {
+//
+// The ccStack marker id (maxID+1) is read from the published snapshot
+// inside the branches that need it, not baked into the generated stubs:
+// a prologue runs off-safepoint, so the epoch — and with it maxID — is
+// stable for the duration of the call, and reading it here means a
+// re-encoding pass only has to regenerate stubs whose action changed,
+// not every unencoded/recursive stub in the program whenever maxID
+// moves. The encoded fast path never pays the extra snapshot load.
+func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target prog.FuncID, act edgeAction) machine.Cookie {
 	switch act.kind {
 	case actEncoded:
 		if act.save {
@@ -78,6 +86,7 @@ func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target 
 		return machine.Cookie{Tag: tagEnc, A: act.code}
 
 	case actUnencoded:
+		markID := d.cur().maxID + 1
 		if act.save {
 			ck := machine.Cookie{Tag: tagSave, A: st.id, B: uint64(len(st.cc))}
 			d.pushCC(t, st, CCEntry{ID: st.id, Site: sid, Target: target})
@@ -99,6 +108,7 @@ func (d *DACCE) applyAction(t *machine.Thread, st *tls, sid prog.SiteID, target 
 		return machine.Cookie{Tag: tagPop}
 
 	case actRecursive:
+		markID := d.cur().maxID + 1
 		if act.save {
 			// Rare combination (recursive edge into a tail-containing
 			// function): use the uncompressed push with a full restore.
@@ -301,7 +311,7 @@ func (d *DACCE) trapApply(t *machine.Thread, s *prog.Site, target prog.FuncID) (
 	st := t.State.(*tls)
 	save := snap.tail[target] && !s.Kind.IsTail()
 	ck := d.applyAction(t, st, s.ID, target,
-		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+		edgeAction{target: target, kind: actUnencoded, save: save})
 	d.trapHist.Observe(time.Since(start).Nanoseconds())
 	return ck, d.epi
 }
@@ -343,7 +353,7 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 		st := t.State.(*tls)
 		save := snap.tail[target] && !s.Kind.IsTail()
 		ck := d.applyAction(t, st, s.ID, target,
-			edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+			edgeAction{target: target, kind: actUnencoded, save: save})
 		d.mu.Unlock()
 		d.trapHist.Observe(time.Since(start).Nanoseconds())
 		d.emitTrap(t, s, target, isNew, edgesDiscovered, epoch, start)
@@ -369,7 +379,7 @@ func (d *DACCE) trapApplySerialized(t *machine.Thread, s *prog.Site, target prog
 	st := t.State.(*tls)
 	save := snap.tail[target] && !s.Kind.IsTail()
 	ck := d.applyAction(t, st, s.ID, target,
-		edgeAction{target: target, kind: actUnencoded, save: save}, snap.maxID+1)
+		edgeAction{target: target, kind: actUnencoded, save: save})
 	d.mu.Unlock()
 	d.trapHist.Observe(time.Since(start).Nanoseconds())
 	return ck, d.epi
@@ -456,7 +466,6 @@ func (d *DACCE) emitTrap(t *machine.Thread, s *prog.Site, target prog.FuncID, is
 type siteStub struct {
 	d      *DACCE
 	site   prog.SiteID
-	markID uint64
 	tail   bool         // the site itself is a tail call
 	direct *edgeAction  // direct call: one known edge
 	inline []edgeAction // indirect, few targets: compare chain (Fig. 3d)
@@ -470,13 +479,13 @@ func (ss *siteStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID
 	st := t.State.(*tls)
 	switch {
 	case ss.direct != nil:
-		return ss.d.applyAction(t, st, ss.site, target, *ss.direct, ss.markID), ss.d.epi
+		return ss.d.applyAction(t, st, ss.site, target, *ss.direct), ss.d.epi
 	case ss.hash != nil:
 		t.C.HashProbes++
 		t.C.InstrCost += machine.CostHashProbe
 		if code, ok := ss.hash.lookup(target); ok {
 			act := edgeAction{target: target, kind: actEncoded, code: code}
-			return ss.d.applyAction(t, st, ss.site, target, act, ss.markID), ss.d.epi
+			return ss.d.applyAction(t, st, ss.site, target, act), ss.d.epi
 		}
 		// Targets the hash cannot hold (save-wrapped, recursive,
 		// unencoded) sit on a short compare chain behind it; only
@@ -485,7 +494,7 @@ func (ss *siteStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID
 			t.C.Compares++
 			t.C.InstrCost += machine.CostCompare
 			if ss.inline[i].target == target {
-				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i], ss.markID), ss.d.epi
+				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i]), ss.d.epi
 			}
 		}
 		return ss.d.trapApply(t, s, target)
@@ -494,7 +503,7 @@ func (ss *siteStub) Prologue(t *machine.Thread, s *prog.Site, target prog.FuncID
 			t.C.Compares++
 			t.C.InstrCost += machine.CostCompare
 			if ss.inline[i].target == target {
-				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i], ss.markID), ss.d.epi
+				return ss.d.applyAction(t, st, ss.site, target, ss.inline[i]), ss.d.epi
 			}
 		}
 		return ss.d.trapApply(t, s, target)
@@ -562,7 +571,13 @@ func (h *hashTable) lookup(target prog.FuncID) (uint64, bool) {
 // complete mid-call (the caller is either off-safepoint in the handler
 // or holds d.mu with the world stopped).
 func (d *DACCE) actionFor(e edgeRef) edgeAction {
-	snap := d.cur()
+	return d.actionForIn(d.cur(), e)
+}
+
+// actionForIn is actionFor against an explicit snapshot; the
+// delta-rebuild equivalence tests use it to compare the action an edge
+// had under the previous epoch against the current one.
+func (d *DACCE) actionForIn(snap *encSnap, e edgeRef) edgeAction {
 	asn := snap.dicts[len(snap.dicts)-1]
 	ge := d.g.Edge(e.site, e.target)
 	act := edgeAction{target: e.target}
@@ -636,7 +651,6 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 		return
 	}
 	s := d.p.Site(sid)
-	markID := d.cur().maxID + 1
 	if !s.Kind.IsIndirect() {
 		act := d.actionFor(edgeRef{sid, edges[0].Target})
 		if act.kind == actEncoded && act.code == 0 && !act.save {
@@ -646,7 +660,7 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 			return
 		}
 		a := act
-		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), direct: &a})
+		m.SetStub(sid, &siteStub{d: d, site: sid, tail: s.Kind.IsTail(), direct: &a})
 		return
 	}
 	actions := make([]edgeAction, 0, len(edges))
@@ -654,14 +668,14 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 		actions = append(actions, d.actionFor(edgeRef{sid, e.Target}))
 	}
 	if len(actions) <= d.opt.InlineThreshold {
-		m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), inline: actions})
+		m.SetStub(sid, &siteStub{d: d, site: sid, tail: s.Kind.IsTail(), inline: actions})
 		return
 	}
 	// Plainly encoded targets dispatch through the one-probe hash
 	// (Fig. 4); the rest — and hash conflicts — stay on a compare chain
 	// behind it.
 	h, rest := buildHash(actions)
-	m.SetStub(sid, &siteStub{d: d, site: sid, markID: markID, tail: s.Kind.IsTail(), hash: h, inline: rest})
+	m.SetStub(sid, &siteStub{d: d, site: sid, tail: s.Kind.IsTail(), hash: h, inline: rest})
 	if !sh.hashed[sid] {
 		sh.hashed[sid] = true
 		if d.sink != nil {
@@ -674,13 +688,17 @@ func (d *DACCE) rebuildSite(sid prog.SiteID) {
 	}
 }
 
-// rebuildAllLocked regenerates every patched site. Caller holds d.mu
-// with the world stopped (or before any thread runs), with publication
-// buffers drained, so every discovered edge is registered and visible.
-func (d *DACCE) rebuildAllLocked() {
+// rebuildAllLocked regenerates every patched site and reports how many
+// it rebuilt. Caller holds d.mu with the world stopped (or before any
+// thread runs), with publication buffers drained, so every discovered
+// edge is registered and visible.
+func (d *DACCE) rebuildAllLocked() int {
+	rebuilt := 0
 	for sid := 0; sid < d.p.NumSites(); sid++ {
 		if len(d.g.EdgesAt(prog.SiteID(sid))) > 0 {
 			d.rebuildSite(prog.SiteID(sid))
+			rebuilt++
 		}
 	}
+	return rebuilt
 }

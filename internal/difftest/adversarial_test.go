@@ -74,8 +74,11 @@ func TestDiffAdversarialFamilies(t *testing.T) {
 }
 
 // TestDiffIncrementalLeg runs a spec with incremental (subgraph)
-// re-encoding enabled and checks both that the oracle stays silent and
-// that the incremental path actually ran.
+// re-encoding enabled and checks that the oracle stays silent, that
+// the incremental path actually ran, and that the spec automatically
+// gained the "dacce-full" control leg: the same trace replayed under
+// from-scratch passes, checked against the same pinned query points —
+// the direct incremental-vs-full equivalence gate.
 func TestDiffIncrementalLeg(t *testing.T) {
 	pr := advBase(7)
 	pr.Name = "incremental-leg"
@@ -96,6 +99,16 @@ func TestDiffIncrementalLeg(t *testing.T) {
 	}
 	if res.IncrementalPasses == 0 {
 		t.Error("incremental leg performed no incremental re-encoding passes")
+	}
+	full, ok := res.Encoders["dacce-full"]
+	if !ok {
+		t.Fatal("incremental spec did not gain the dacce-full control leg")
+	}
+	if full.Queries == 0 {
+		t.Error("dacce-full leg answered no queries")
+	}
+	if full.Divergences != 0 {
+		t.Errorf("dacce-full leg diverged %d times from the incremental leg's truth", full.Divergences)
 	}
 }
 

@@ -216,12 +216,23 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 	var pc *pcc.Scheme
 	var archive *Archive
 	switch name {
-	case "dacce":
-		d = core.New(rp, dacceOptions(spec, opt.Sink))
+	case "dacce", "dacce-full":
+		do := dacceOptions(spec, opt.Sink)
+		if name == "dacce-full" {
+			// The full-pass control leg: same spec, same trace, but every
+			// re-encoding recomputes the assignment from scratch. The truth
+			// map pins each query point to the first replay's shadow
+			// context, so agreement of both legs with truth is exactly the
+			// delta-vs-full equivalence gate.
+			do.Incremental = false
+		}
+		d = core.New(rp, do)
 		sch = ForceEpochs(d, spec.ForceEpochEvery)
-		sch, archive = SnapshotArchive(sch, d, spec.SnapshotEvery)
-		if spec.Mutation != "" {
-			sch = Mutate(sch, Mutation(spec.Mutation))
+		if name == "dacce" {
+			sch, archive = SnapshotArchive(sch, d, spec.SnapshotEvery)
+			if spec.Mutation != "" {
+				sch = Mutate(sch, Mutation(spec.Mutation))
+			}
 		}
 	case "pcce":
 		ps = pcce.New(rp, prof, pcce.Options{})
@@ -236,7 +247,7 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		pc = pcc.New()
 		sch = pc
 	default:
-		return fmt.Errorf("difftest: unknown encoder %q (want one of %v)", name, AllEncoders)
+		return fmt.Errorf("difftest: unknown encoder %q (want one of %v or dacce-full)", name, AllEncoders)
 	}
 
 	m := machine.New(rp, sch, machine.Config{SampleEvery: spec.SampleEvery, Seed: spec.Profile.Seed + 1})
@@ -300,7 +311,7 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		}
 
 		switch name {
-		case "dacce":
+		case "dacce", "dacce-full":
 			epoch := uint32(0)
 			if c, ok := s.Capture.(*core.Capture); ok {
 				epoch = c.Epoch

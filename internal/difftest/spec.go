@@ -29,6 +29,10 @@ import (
 // AllEncoders lists every context tracker the harness drives, in
 // replay order. The DACCE replay goes first: it establishes the
 // canonical query points every later replay is checked against.
+// "dacce-full" — a second DACCE instance with incremental re-encoding
+// forced off — is not in the default set; withDefaults adds it to
+// Incremental specs so the sweep's incremental leg always carries its
+// own full-pass control.
 var AllEncoders = []string{"dacce", "pcce", "cct", "stackwalk", "pcc"}
 
 // Spec describes one differential run completely: the workload whose
@@ -67,7 +71,11 @@ type Spec struct {
 	Mutation string `json:"mutation,omitempty"`
 	// Incremental runs the DACCE replay with incremental (subgraph)
 	// re-encoding enabled — the sweep's second leg, asserting that
-	// splice-renumbered epochs decode identically to full passes.
+	// splice-renumbered epochs decode identically to full passes. When
+	// Encoders is left to the default, the spec also gains a
+	// "dacce-full" leg: the same trace replayed under full passes, so
+	// incremental-vs-full equivalence is asserted directly (both legs
+	// must match the truth pinned at every query point).
 	Incremental bool `json:"incremental,omitempty"`
 }
 
@@ -78,6 +86,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Encoders) == 0 {
 		s.Encoders = AllEncoders
+		if s.Incremental {
+			s.Encoders = append(s.Encoders[:len(s.Encoders):len(s.Encoders)], "dacce-full")
+		}
 	}
 	return s
 }

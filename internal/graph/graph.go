@@ -54,8 +54,10 @@ type Edge struct {
 	// Freq is the observed invocation count used by adaptive encoding to
 	// order edges hottest-first. Unencoded stubs count it directly (they
 	// are instrumented anyway); for zero-cost encoded edges it is
-	// re-estimated from decoded samples. Updated only under the scheme
-	// lock or with the world stopped.
+	// re-estimated from decoded samples. Bumped with atomic adds by
+	// traps and the sampling controller while the world runs, and read
+	// atomically by encoding passes (which may prepare concurrently with
+	// live threads).
 	Freq int64
 
 	// Back marks the edge as a back edge in the most recent

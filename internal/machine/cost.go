@@ -49,10 +49,26 @@ const (
 	// warm-up, amortizes away as sites get patched.
 	CostHandlerTrap = 400
 
-	// CostReencodePerEdge is the per-edge price of one re-encoding
-	// pass, including stopping the world; the total per pass is
-	// reported as Table 1's "costs" column.
+	// CostReencodePerEdge is the per-edge price of renumbering during a
+	// re-encoding pass (topological sweep, code assignment). An
+	// incremental pass pays it only for the edges it actually
+	// renumbered. The per-pass total — renumbering plus the three
+	// phases below — is reported as Table 1's "costs" column.
 	CostReencodePerEdge = 300
+
+	// CostIndexPerEdge is the per-in-edge price of (re)building the
+	// epoch's decode index entry: one map insert plus the code/numCC
+	// lookups.
+	CostIndexPerEdge = 40
+
+	// CostStubRebuild is the price of regenerating one call site's
+	// stub: action computation per known target plus the patch.
+	CostStubRebuild = 150
+
+	// CostTranslatePerFrame is the per-active-frame price of replaying
+	// a thread's shadow stack after a re-encoding (rewriting the frame's
+	// epilogue cookie and re-deriving the TLS contribution).
+	CostTranslatePerFrame = 30
 
 	// CostSampleDecode prices DACCE's dynamic profiling: the online part
 	// of consuming one sample for the adaptive controller (copying the

@@ -37,13 +37,21 @@ const (
 	// first time. Site/Fn name the edge; Value is the total number of
 	// discovered edges including this one.
 	EvEdgeDiscovered
-	// EvReencodeStart: a re-encoding pass is starting (world stopped).
-	// Reason carries the trigger; Epoch is the epoch being left; Value
-	// is the graph's edge count.
+	// EvReencodeStart: a re-encoding pass is starting. Reason carries
+	// the trigger; Epoch is the epoch being left; Value is the graph's
+	// edge count. On the classic serialized path the world is already
+	// stopped at this point; on the concurrent-prepare path it is still
+	// running and only stops after EvReencodePrepared.
 	EvReencodeStart
+	// EvReencodePrepared: a concurrent pass finished computing the new
+	// assignment and decode index off-pause and is about to stop the
+	// world. Epoch is the epoch being left; Value is the number of
+	// changed edges, Aux the number of renumbered edges; DurNanos the
+	// prepare duration.
+	EvReencodePrepared
 	// EvReencodeEnd: the pass finished. Reason matches the start event;
 	// Epoch is the new epoch; Value is the pass's model cost in cycles;
-	// Aux is the new maxID.
+	// Aux is the new maxID; DurNanos the stop-the-world pause.
 	EvReencodeEnd
 	// EvCCStackPush: an unencoded or recursive call pushed on the
 	// ccStack. Site/Fn name the edge; Value is the depth after the push.
@@ -103,6 +111,7 @@ var kindNames = [NumKinds]string{
 	EvEncoderInit:      "encoder_init",
 	EvEdgeDiscovered:   "edge_discovered",
 	EvReencodeStart:    "reencode_start",
+	EvReencodePrepared: "reencode_prepared",
 	EvReencodeEnd:      "reencode_end",
 	EvCCStackPush:      "ccstack_push",
 	EvCCStackPop:       "ccstack_pop",
