@@ -7,6 +7,7 @@
 //	daccebench steady [-threads 1,2,4,8] [-compare]   steady-state scalability suite
 //	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
 //	daccebench obs    [-threads 1,2,4]                observability-overhead suite
+//	daccebench stream [-samples 1000000]              streaming-decode firehose suite
 //	daccebench adversarial [-targets 2,16,1024]       adversarial-workload suite
 //	daccebench pause  [-edges 10000,1000000]          pause-vs-graph-size suite
 //	daccebench all    [-calls N]                      everything
@@ -68,6 +69,7 @@ func run() int {
 	noReplay := fs.Bool("no-replay", false, "warmup: skip the warm-start replay rows")
 	ccprofOut := fs.String("ccprof-out", "", "steady: write the streaming context profile to this file (pprof protobuf; folded text for .folded names)")
 	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3); pause: measured passes per cell (default 5)")
+	samples := fs.Int64("samples", 0, "stream: firehose decodes per timed pass (default 1000000)")
 	targets := fs.String("targets", "", "adversarial: comma-separated mega-indirect target counts (default 2,4,8,16,64,256,1024)")
 	depth := fs.Int("depth", 0, "adversarial: recursion-torture depth (default 100000)")
 	edgesFlag := fs.String("edges", "", "pause: comma-separated base graph sizes (default 10000,100000,1000000)")
@@ -161,6 +163,8 @@ func run() int {
 		err = runWarmup(*threadsFlag, *calls, *sample, *compare, *noReplay, *benchJSON)
 	case "obs":
 		err = runObs(*threadsFlag, *calls, *sample, *reps, *benchJSON)
+	case "stream":
+		err = runStream(*threadsFlag, *samples, *calls, *sample, *benchJSON)
 	case "adversarial":
 		err = runAdversarial(*targets, *threadsFlag, *calls, *sample, *depth, *benchJSON)
 	case "pause":
@@ -356,6 +360,55 @@ func runObs(threadsCSV string, callsPerThread, sampleEvery int64, reps int, json
 	return nil
 }
 
+// runStream drives the streaming-decode firehose suite — a real capture
+// corpus replayed through the slice and node decode paths far past DAG
+// saturation — and renders a summary; -bench-json additionally writes
+// the full report in the BENCH_dag.json format.
+func runStream(threadsCSV string, samples, callsPerThread, sampleEvery int64, jsonOut string) error {
+	cfg := experiments.StreamConfig{
+		Samples:        samples,
+		CallsPerThread: callsPerThread,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// stream suite wants a dense corpus (default 16).
+	if sampleEvery != 256 {
+		cfg.SampleEvery = sampleEvery
+	}
+	threads, err := parseThreads(threadsCSV, nil)
+	if err != nil {
+		return err
+	}
+	if len(threads) > 0 {
+		cfg.Threads = threads[0]
+	}
+	rep, err := experiments.Stream(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Streaming decode firehose (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
+	fmt.Printf("corpus: %d captures, %d distinct contexts\n", rep.CorpusCaptures, rep.DistinctContexts)
+	fmt.Printf("decoded %d samples per pass:\n", rep.Decoded)
+	fmt.Printf("  slice path: %8.1f ns/sample\n", rep.SliceNsPerSample)
+	fmt.Printf("  node path:  %8.1f ns/sample  (%.2fx, %.4f allocs/sample warm)\n",
+		rep.NodeNsPerSample, rep.NodeSpeedupVsSlice, rep.AllocsPerSampleWarm)
+	fmt.Printf("DAG: %d nodes, %.4f intern hit rate, ~%d bytes (%.1f bytes/distinct context)\n",
+		rep.DAGNodes, rep.InternHitRate, rep.DAGBytesEstimate, rep.BytesPerDistinctContext)
+	fmt.Printf("equality @ depth %d: pointer %0.3f ns/op vs DiffContexts %0.1f ns/op (%.0fx)\n",
+		rep.EqualityDepth, rep.PointerEqNsPerOp, rep.DiffContextsNsPerOp, rep.PointerEqSpeedup)
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "stream report written to", jsonOut)
+	}
+	return nil
+}
+
 // runAdversarial drives the adversarial-workload suite — the
 // inline-chain-vs-hash dispatch crossover sweep, the 64-thread module
 // churn run, and the recursion-torture decode-latency probe — and
@@ -507,7 +560,7 @@ func parseThreads(csv string, def []int) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|adversarial|pause|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-targets 2,16,1024] [-depth N] [-edges 10000,1000000] [-deltas 64,4096] [-modes incremental,full,serialized] [-slo-pause-p99 US] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|stream|adversarial|pause|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-samples N] [-targets 2,16,1024] [-depth N] [-edges 10000,1000000] [-deltas 64,4096] [-modes incremental,full,serialized] [-slo-pause-p99 US] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"dacce/internal/breadcrumbs"
+	"dacce/internal/ccdag"
 	"dacce/internal/ccprof"
 	"dacce/internal/cct"
 	"dacce/internal/core"
@@ -239,6 +240,40 @@ type (
 
 // NewCCStreaming returns a streaming context profiler over p.
 func NewCCStreaming(p *Program) *CCStreaming { return ccprof.NewStreaming(p) }
+
+// Hash-consed context DAG: every decoded context interned as an
+// immutable node so a full calling context is one pointer, equality is
+// pointer comparison, contexts share suffix storage, and a warm
+// re-decode allocates nothing. Encoder.DecodeNode / DecodeSampleNode
+// return interned nodes from the encoder's own DAG; NodeContext
+// materializes a node back into a Context.
+type (
+	// CCNode is one interned context node; pointer-equal CCNodes are
+	// equal contexts.
+	CCNode = ccdag.Node
+	// CCDAG is a concurrency-safe hash-consed context DAG.
+	CCDAG = ccdag.DAG
+	// CCDAGStats is a DAG health snapshot (nodes, intern hit rate,
+	// memory estimate).
+	CCDAGStats = ccdag.Stats
+	// NodeObserver is a ContextObserver upgrade: implementations
+	// receive interned nodes instead of frame slices from the sampling
+	// path.
+	NodeObserver = core.NodeObserver
+)
+
+// NewCCDAG returns an empty context DAG, for interning contexts
+// decoded through a standalone Decoder. Live encoders already carry
+// one (Encoder.DAG).
+func NewCCDAG() *CCDAG { return ccdag.New() }
+
+// NodeContext materializes an interned context node into a root-first
+// Context.
+func NodeContext(n *CCNode) Context { return core.NodeContext(n) }
+
+// AppendNodeContext materializes n into a caller-reused buffer,
+// allocating only when dst is too small.
+func AppendNodeContext(dst Context, n *CCNode) Context { return core.AppendNodeContext(dst, n) }
 
 // NewWatchdog returns an SLO watchdog emitting breaches into sink.
 func NewWatchdog(sink Sink) *Watchdog { return telemetry.NewWatchdog(sink) }

@@ -1,0 +1,102 @@
+// Streamdecode: consume a firehose of context samples through the
+// hash-consed context DAG. Every sample is decoded with
+// DecodeSampleNode into an interned *CCNode, so repeated contexts
+// resolve to the same pointer: the hot-context histogram is a plain
+// map keyed by node pointer, equality checks are pointer compares, and
+// warm re-decodes allocate nothing. Contexts are only materialized
+// into frame slices at the very end, for the handful of winners worth
+// printing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"dacce"
+)
+
+func main() {
+	// A small service-shaped program: a dispatch loop fans out into two
+	// handlers that share a common helper chain, so their contexts share
+	// suffixes in the DAG.
+	b := dacce.NewBuilder()
+	mainF := b.Func("main")
+	loop := b.Func("loop")
+	hGet := b.Func("handle_get")
+	hPut := b.Func("handle_put")
+	auth := b.Func("auth")
+	store := b.Func("store")
+
+	mLoop := b.CallSite(mainF, loop)
+	loopGet := b.CallSite(loop, hGet)
+	loopPut := b.CallSite(loop, hPut)
+	getAuth := b.CallSite(hGet, auth)
+	putAuth := b.CallSite(hPut, auth)
+	authStore := b.CallSite(auth, store)
+
+	b.Body(mainF, func(x dacce.Exec) { x.Call(mLoop, dacce.NoFunc) })
+	b.Body(loop, func(x dacce.Exec) {
+		for i := 0; i < 4000; i++ {
+			if i%3 == 0 {
+				x.Call(loopPut, dacce.NoFunc)
+			} else {
+				x.Call(loopGet, dacce.NoFunc)
+			}
+		}
+	})
+	b.Body(hGet, func(x dacce.Exec) { x.Work(20); x.Call(getAuth, dacce.NoFunc) })
+	b.Body(hPut, func(x dacce.Exec) { x.Work(30); x.Call(putAuth, dacce.NoFunc) })
+	b.Body(auth, func(x dacce.Exec) { x.Work(10); x.Call(authStore, dacce.NoFunc) })
+	b.Body(store, func(x dacce.Exec) { x.Work(40) })
+
+	p := b.MustBuild()
+	enc := dacce.NewEncoder(p, dacce.Options{})
+	m := dacce.NewMachine(p, enc, dacce.MachineConfig{SampleEvery: 7})
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The streaming loop: one interned node per sample, one map bump.
+	// After the first decode of each distinct context the DAG is warm
+	// and this loop performs zero heap allocations per sample.
+	hot := make(map[*dacce.CCNode]int)
+	for _, s := range stats.Samples {
+		n, err := enc.DecodeSampleNode(s)
+		if err != nil {
+			log.Fatalf("decode sample: %v", err)
+		}
+		hot[n]++
+	}
+
+	st := enc.DAG().Stats()
+	fmt.Printf("stream: %d samples → %d distinct contexts\n", len(stats.Samples), len(hot))
+	fmt.Printf("dag:    %d nodes, intern hit rate %.4f, ≈%d bytes\n\n",
+		st.Nodes, st.HitRate(), st.BytesEstimate)
+
+	// Equality is pointer comparison: rank the histogram and only now
+	// materialize the top contexts into printable frame slices.
+	type entry struct {
+		n *dacce.CCNode
+		c int
+	}
+	ranked := make([]entry, 0, len(hot))
+	for n, c := range hot {
+		ranked = append(ranked, entry{n, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].c != ranked[j].c {
+			return ranked[i].c > ranked[j].c
+		}
+		return ranked[i].n.ID() < ranked[j].n.ID()
+	})
+	if len(ranked) > 5 {
+		ranked = ranked[:5]
+	}
+	fmt.Println("hottest contexts:")
+	for _, e := range ranked {
+		ctx := dacce.NodeContext(e.n)
+		fmt.Printf("%6d  depth=%-2d  %s\n", e.c, e.n.Depth(), ctx.Pretty(p))
+	}
+}

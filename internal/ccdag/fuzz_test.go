@@ -1,0 +1,95 @@
+package ccdag
+
+import (
+	"testing"
+
+	"dacce/internal/prog"
+)
+
+// frameSeq decodes fuzz bytes into a frame sequence: each pair of
+// bytes is one (site, fn) frame. The first frame is forced to the root
+// shape (NoSite) the decoder produces.
+func frameSeq(data []byte) (sites []prog.SiteID, fns []prog.FuncID) {
+	for i := 0; i+1 < len(data); i += 2 {
+		s := prog.SiteID(data[i])
+		if len(sites) == 0 {
+			s = prog.NoSite
+		}
+		sites = append(sites, s)
+		fns = append(fns, prog.FuncID(data[i+1]))
+	}
+	return sites, fns
+}
+
+// internSeq interns a frame sequence root-first and returns the leaf.
+func internSeq(d *DAG, sites []prog.SiteID, fns []prog.FuncID) *Node {
+	var n *Node
+	for i := range sites {
+		if n == nil {
+			n = d.Intern(nil, sites[i], fns[i])
+		} else {
+			n = d.Intern(n, sites[i], fns[i])
+		}
+	}
+	return n
+}
+
+// FuzzInternMaterialize round-trips arbitrary frame sequences through
+// the intern table: materializing the interned leaf must reproduce the
+// sequence exactly, re-interning must be pointer-stable, every proper
+// prefix must be the leaf's pred chain, and two different sequences
+// must never intern to the same leaf.
+func FuzzInternMaterialize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 1, 2, 3, 2, 3, 2, 3})
+	f.Add([]byte{255, 255, 0, 0, 7, 7})
+
+	dag := New()
+	seen := map[*Node]string{}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sites, fns := frameSeq(data)
+		if len(sites) == 0 {
+			return
+		}
+		leaf := internSeq(dag, sites, fns)
+
+		// Materialize by walking preds: must reproduce the input.
+		n := leaf
+		for i := len(sites) - 1; i >= 0; i-- {
+			if n == nil {
+				t.Fatalf("pred chain ended %d frames early", i+1)
+			}
+			if n.Site() != sites[i] || n.Fn() != fns[i] {
+				t.Fatalf("frame %d materialized as (s%d,f%d), interned (s%d,f%d)",
+					i, n.Site(), n.Fn(), sites[i], fns[i])
+			}
+			if n.Depth() != i+1 {
+				t.Fatalf("frame %d has depth %d", i, n.Depth())
+			}
+			n = n.Pred()
+		}
+		if n != nil {
+			t.Fatal("pred chain longer than the interned sequence")
+		}
+
+		// Re-intern: pointer-stable.
+		if again := internSeq(dag, sites, fns); again != leaf {
+			t.Fatalf("re-intern produced %p, first pass %p", again, leaf)
+		}
+
+		// Cross-input canonicality: one leaf pointer, one sequence. The
+		// DAG persists across fuzz iterations, so this also checks that
+		// different inputs sharing prefixes never collide on a leaf.
+		key := ""
+		for i := range sites {
+			key += string(rune(sites[i]+1)) + string(rune(fns[i]+1))
+		}
+		if prev, ok := seen[leaf]; ok && prev != key {
+			t.Fatalf("leaf %p interned for two sequences: %q and %q", leaf, prev, key)
+		}
+		seen[leaf] = key
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dacce/internal/ccdag"
 	"dacce/internal/core"
 	"dacce/internal/prog"
 )
@@ -23,6 +24,13 @@ import (
 // an export asks for it. Observe allocates nothing once a context's
 // node path exists; shard registration and first-visit node creation
 // are warm-up costs.
+//
+// Streaming also implements core.NodeObserver, so an encoder with a
+// context DAG dispatches interned *ccdag.Node values instead of frame
+// slices. In that mode a shard is a count per canonical node — one map
+// increment under the shard lock, no tree descent at all — and the
+// per-context tree work moves to merge time, where each distinct node
+// is materialized once and folded in with its accumulated weight.
 type Streaming struct {
 	p *prog.Program
 
@@ -34,6 +42,10 @@ type Streaming struct {
 	mu     sync.Mutex
 	merged *Profile
 
+	// mscratch is the merge-time materialization buffer for node-mode
+	// shards, reused across nodes and merges.
+	mscratch core.Context
+
 	observed atomic.Int64
 }
 
@@ -44,6 +56,11 @@ type streamShard struct {
 	mu      sync.Mutex
 	root    snode
 	pending int64 // contexts accumulated since the last merge
+
+	// nodes holds node-mode counts keyed by canonical context node.
+	// Merge zeroes the counts but keeps the keys, so a steady-state
+	// workload re-accumulates with zero-allocation map increments.
+	nodes map[*ccdag.Node]int64
 }
 
 // snode mirrors Node for the per-shard tree, without parent pointers:
@@ -129,6 +146,27 @@ func (s *Streaming) ObserveContext(thread int, ctx core.Context) {
 	s.observed.Add(1)
 }
 
+// ObserveContextNode implements core.NodeObserver: count one canonical
+// context node in the calling thread's shard. The whole per-sample cost
+// is a map increment — the tree fold happens once per distinct node at
+// merge time instead of once per sample, and pointer-keyed increments
+// on warm keys allocate nothing.
+func (s *Streaming) ObserveContextNode(thread int, n *ccdag.Node) {
+	if n == nil || thread < 0 {
+		return
+	}
+	sh := s.shard(thread)
+	sh.mu.Lock()
+	if sh.nodes == nil {
+		sh.nodes = make(map[*ccdag.Node]int64)
+	}
+	// No sh.pending here: addN bumps the merged total itself at merge
+	// time, where slice-mode counts flow through pending instead.
+	sh.nodes[n]++
+	sh.mu.Unlock()
+	s.observed.Add(1)
+}
+
 // Observed returns how many contexts the profiler has consumed.
 func (s *Streaming) Observed() int64 { return s.observed.Load() }
 
@@ -144,6 +182,14 @@ func (s *Streaming) mergeLocked() {
 		sh.mu.Lock()
 		s.absorb(&sh.root, s.merged.root)
 		s.merged.total += sh.pending
+		for n, w := range sh.nodes {
+			if w == 0 {
+				continue
+			}
+			s.mscratch = core.AppendNodeContext(s.mscratch, n)
+			_ = s.merged.addN(s.mscratch, w)
+			sh.nodes[n] = 0
+		}
 		sh.pending = 0
 		sh.mu.Unlock()
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"dacce/internal/ccdag"
 	"dacce/internal/core"
 	"dacce/internal/machine"
 	"dacce/internal/workload"
@@ -96,6 +97,89 @@ func TestStreamingMatchesOffline(t *testing.T) {
 	sameProfile(t, s.Profile(), offline)
 	// A second snapshot (everything already merged) must be identical.
 	sameProfile(t, s.Profile(), offline)
+}
+
+// TestStreamingNodeModeMatchesOffline is the node-mode twin of the
+// merge-order property test: the same observation plan delivered as
+// interned DAG nodes through ObserveContextNode, with merges racing the
+// observers, must aggregate to exactly the offline Add-per-context
+// profile. This pins the node→materialize→addN merge path to the slice
+// path's semantics.
+func TestStreamingNodeModeMatchesOffline(t *testing.T) {
+	p, ctxA, ctxB, ctxC := tiny(t)
+	contexts := []core.Context{ctxA, ctxB, ctxC}
+
+	dag := ccdag.New()
+	nodes := make([]*ccdag.Node, len(contexts))
+	for i, ctx := range contexts {
+		var n *ccdag.Node
+		for _, f := range ctx {
+			n = dag.Intern(n, f.Site, f.Fn)
+		}
+		nodes[i] = n
+	}
+
+	const threads = 8
+	const perThread = 500
+	rng := rand.New(rand.NewSource(2))
+	plan := make([][]int, threads)
+	offline := New(p)
+	for th := 0; th < threads; th++ {
+		for i := 0; i < perThread; i++ {
+			k := rng.Intn(len(contexts))
+			plan[th] = append(plan[th], k)
+			if err := offline.Add(contexts[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	s := NewStreaming(p)
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i, k := range plan[th] {
+				s.ObserveContextNode(th, nodes[k])
+				if i%89 == 0 {
+					s.Total()
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	if s.Observed() != threads*perThread {
+		t.Fatalf("observed %d, want %d", s.Observed(), threads*perThread)
+	}
+	sameProfile(t, s.Profile(), offline)
+	sameProfile(t, s.Profile(), offline)
+
+	// Node and slice modes can coexist across merges: more slice-mode
+	// observations on top must still match the offline reference.
+	s.ObserveContext(0, ctxA)
+	s.ObserveContextNode(1, nodes[1])
+	offline.Add(ctxA)
+	offline.Add(ctxB)
+	sameProfile(t, s.Profile(), offline)
+}
+
+// TestStreamingNodeModeIgnoresInvalid: nil nodes and negative thread
+// ids are dropped, not crashed on.
+func TestStreamingNodeModeIgnoresInvalid(t *testing.T) {
+	p, ctxA, _, _ := tiny(t)
+	dag := ccdag.New()
+	var n *ccdag.Node
+	for _, f := range ctxA {
+		n = dag.Intern(n, f.Site, f.Fn)
+	}
+	s := NewStreaming(p)
+	s.ObserveContextNode(0, nil)
+	s.ObserveContextNode(-1, n)
+	if s.Observed() != 0 || s.Total() != 0 {
+		t.Fatalf("invalid observations counted: observed=%d total=%d", s.Observed(), s.Total())
+	}
 }
 
 // TestStreamingDrainKeepsNodes verifies the steady-state contract:

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dacce/internal/ccdag"
 	"dacce/internal/graph"
 	"dacce/internal/prog"
 )
@@ -51,6 +52,14 @@ type tls struct {
 	id      uint64
 	cc      []CCEntry
 	scratch decodeScratch
+
+	// lastNode memoizes the interned node of the thread's previous
+	// sample: consecutive samples usually land in the same context, so
+	// the node-observer path verifies the memo with plain word compares
+	// (no hashing, no atomics) and re-interns only on a change. The DAG
+	// never evicts, so a stale memo is at worst a miss, never a dangling
+	// pointer.
+	lastNode *ccdag.Node
 
 	// disc is this thread's edge publication buffer. The owner appends
 	// under its mutex and flushes a full batch itself; drainAllLocked

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dacce/internal/blenc"
+	"dacce/internal/ccdag"
 	"dacce/internal/graph"
 	"dacce/internal/machine"
 	"dacce/internal/prog"
@@ -119,6 +120,19 @@ type ContextObserver interface {
 	ObserveContext(thread int, ctx Context)
 }
 
+// NodeObserver is the interned-context upgrade of ContextObserver: a
+// context observer that also implements it receives each sampled
+// context as its canonical hash-consed DAG node instead of the scratch
+// slice — one word, valid forever, pointer-comparable — and the
+// sampling controller interns the decoded frames into the encoder's
+// DAG on the observer's behalf (allocation-free once the DAG holds the
+// context). The same concurrency and no-callback rules as
+// ContextObserver apply; retaining the node is allowed (that is the
+// point).
+type NodeObserver interface {
+	ObserveContextNode(thread int, n *ccdag.Node)
+}
+
 // DefaultInlineThreshold matches the paper's "small number of indirect
 // targets" regime.
 const DefaultInlineThreshold = 4
@@ -204,8 +218,18 @@ type DACCE struct {
 
 	// ctxObs is the streaming-profiler hook, published atomically so it
 	// can be attached to an already-running encoder without a race with
-	// in-flight samples.
-	ctxObs atomic.Pointer[ContextObserver]
+	// in-flight samples. nodeObs holds the same observer's NodeObserver
+	// upgrade when it has one (resolved once at attach time, so the
+	// sample path pays a load, not a type assertion).
+	ctxObs  atomic.Pointer[ContextObserver]
+	nodeObs atomic.Pointer[NodeObserver]
+
+	// dag is the encoder's hash-consed context DAG: the intern table
+	// behind DecodeNode/DecodeSampleNode and the node-mode sampling
+	// observer. Created with the encoder, append-only, never reset — a
+	// node stays canonical across re-encoding epochs because it is keyed
+	// by decoded frames, not by encoded ids.
+	dag *ccdag.DAG
 
 	// Always-on latency histograms over the runtime's own control
 	// points. They exist regardless of any sink — the warmup suite
@@ -266,6 +290,7 @@ func New(p *prog.Program, opt Options) *DACCE {
 		opt:        opt,
 		p:          p,
 		g:          graph.New(p),
+		dag:        ccdag.New(),
 		sink:       opt.Sink,
 		pauseHist:  telemetry.NewHistogram(telemetry.DurationBuckets()),
 		prepHist:   telemetry.NewHistogram(telemetry.DurationBuckets()),
@@ -273,8 +298,7 @@ func New(p *prog.Program, opt Options) *DACCE {
 		decodeHist: telemetry.NewHistogram(telemetry.DurationBuckets()),
 	}
 	if opt.ContextObserver != nil {
-		obs := opt.ContextObserver
-		d.ctxObs.Store(&obs)
+		d.SetContextObserver(opt.ContextObserver)
 	}
 	for i := range d.siteShards {
 		d.siteShards[i].hashed = make(map[prog.SiteID]bool)
@@ -458,7 +482,17 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 			// The streaming profiler rides the decode the controller
 			// already paid for: the observer consumes ctx before the
 			// scratch is reused, keeping the whole path allocation-free.
-			if op := d.ctxObs.Load(); op != nil {
+			// A node observer instead gets the context interned into the
+			// encoder's DAG — pure pointer hops once the DAG is warm, and
+			// the node is retainable where the scratch slice is not.
+			if nop := d.nodeObs.Load(); nop != nil {
+				nd := st.lastNode
+				if !nodeMatches(nd, ctx) {
+					nd = internContext(d.dag, ctx)
+					st.lastNode = nd
+				}
+				(*nop).ObserveContextNode(t.ID(), nd)
+			} else if op := d.ctxObs.Load(); op != nil {
 				(*op).ObserveContext(t.ID(), ctx)
 			}
 		}
@@ -557,12 +591,20 @@ func (d *DACCE) CompressCount() int { return len(d.cur().compress) }
 // SetContextObserver attaches (or, with nil, detaches) the streaming
 // context observer fed from the live sampling path. Safe to call while
 // the machine runs; in-flight samples see either the old or the new
-// observer.
+// observer. An observer that also implements NodeObserver is fed
+// interned DAG nodes instead of scratch slices.
 func (d *DACCE) SetContextObserver(o ContextObserver) {
 	if o == nil {
 		d.ctxObs.Store(nil)
+		d.nodeObs.Store(nil)
 		return
 	}
+	if no, ok := o.(NodeObserver); ok {
+		d.ctxObs.Store(nil)
+		d.nodeObs.Store(&no)
+		return
+	}
+	d.nodeObs.Store(nil)
 	d.ctxObs.Store(&o)
 }
 

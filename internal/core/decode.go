@@ -160,6 +160,25 @@ func (dec *Decoder) epochIndex(epoch uint32) *decodeIndex {
 // allocation-free; the returned Context then aliases scratch.rev and is
 // only valid until the next decode with the same scratch.
 func (dec *Decoder) decodeOne(c *Capture, scratch *decodeScratch) (Context, error) {
+	rev, err := dec.decodeOneRev(c, scratch)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse to root-first order (in place: scratch.rev, when present,
+	// aliases rev and stays reversed with it).
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// decodeOneRev is decodeOne without the final reversal: the frames come
+// back deepest-first, exactly as the reverse walk of Algorithm 1
+// produced them. The node-interning decode path consumes this order
+// directly — it walks the slice backwards to intern root-first — so the
+// reversal (and with it any touching of the frames after the walk) is
+// confined to the slice-materializing path.
+func (dec *Decoder) decodeOneRev(c *Capture, scratch *decodeScratch) ([]ContextFrame, error) {
 	if int(c.Epoch) >= len(dec.Dicts) {
 		return nil, fmt.Errorf("core: capture epoch %d has no dictionary", c.Epoch)
 	}
@@ -246,10 +265,6 @@ func (dec *Decoder) decodeOne(c *Capture, scratch *decodeScratch) (Context, erro
 		rev = append(rev, ContextFrame{Site: prog.NoSite, Fn: ifun})
 	}
 
-	// Reverse to root-first order.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
 	if scratch != nil {
 		scratch.cc = cc[:0]
 		scratch.rev = rev

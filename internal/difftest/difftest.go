@@ -2,7 +2,9 @@ package difftest
 
 import (
 	"fmt"
+	"strings"
 
+	"dacce/internal/ccdag"
 	"dacce/internal/cct"
 	"dacce/internal/core"
 	"dacce/internal/machine"
@@ -37,8 +39,12 @@ type Divergence struct {
 	Fn      int    `json:"fn"`
 	Epoch   uint32 `json:"epoch,omitempty"`
 	// Kind classifies the failure: "decode-error", "context-mismatch",
-	// "value-mismatch" (PCC), or "alignment" (a replay failed to
-	// reproduce the query point itself).
+	// "value-mismatch" (PCC), "alignment" (a replay failed to
+	// reproduce the query point itself), or one of the DAG leg's kinds —
+	// "node-decode-error" (DecodeCaptureNode failed where the slice
+	// decode did not), "node-mismatch" (node materialization disagreed
+	// with the slice context), "node-split" (equal contexts interned to
+	// distinct nodes) and "node-alias" (one node stood for two contexts).
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
 }
@@ -268,6 +274,16 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 			return fmt.Errorf("difftest: cct model: %w", err)
 		}
 	}
+	// The DAG leg's interning invariants, per encoder instance (nodes
+	// from different DAGs are never comparable): one canonical node per
+	// context string, one context string per node.
+	var nodeOf map[string]*ccdag.Node
+	var nodeSeen map[*ccdag.Node]string
+	if d != nil {
+		nodeOf = make(map[string]*ccdag.Node)
+		nodeSeen = make(map[*ccdag.Node]string)
+	}
+
 	// cctModel (and legacy traces generally) index by recorded stream;
 	// map a live sample's ident back to its stream index, falling back
 	// to the numeric id for ident-less traces.
@@ -321,6 +337,32 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 				report(s, epoch, "decode-error", err.Error())
 			} else if msg := core.DiffContexts(ctx, want); msg != "" {
 				report(s, epoch, "context-mismatch", msg)
+			}
+			// The DAG leg: the same capture decoded through the interning
+			// path must materialize to the slice context, and the intern
+			// table must stay a bijection between contexts and nodes —
+			// across epochs too, since nodes are keyed by decoded frames,
+			// not encoded ids.
+			n, nerr := d.DecodeCaptureNode(s.Capture)
+			switch {
+			case nerr != nil && err == nil:
+				report(s, epoch, "node-decode-error", nerr.Error())
+			case nerr == nil:
+				nctx := core.NodeContext(n)
+				if msg := core.DiffContexts(nctx, want); msg != "" {
+					report(s, epoch, "node-mismatch", msg)
+				}
+				// Context.String() renders functions only; the intern
+				// bijection is over full (site, fn) frames.
+				key := ctxKey(nctx)
+				if prev, ok := nodeOf[key]; ok && prev != n {
+					report(s, epoch, "node-split", fmt.Sprintf("context %s interned twice: node %d and node %d", nctx.Compact(), prev.ID(), n.ID()))
+				}
+				nodeOf[key] = n
+				if prevKey, ok := nodeSeen[n]; ok && prevKey != key {
+					report(s, epoch, "node-alias", fmt.Sprintf("node %d stood for %q, now materializes %q", n.ID(), prevKey, key))
+				}
+				nodeSeen[n] = key
 			}
 		case "pcce":
 			ctx, err := ps.DecodeCapture(s.Capture)
@@ -386,6 +428,16 @@ func runEncoder(name string, p *prog.Program, tr *trace.Trace, prof pcce.Profile
 		res.PCCCollisions, res.PCCDistinct = pc.Collisions()
 	}
 	return nil
+}
+
+// ctxKey renders a context with both sites and functions — the exact
+// identity the intern table's bijection is checked against.
+func ctxKey(ctx core.Context) string {
+	var b strings.Builder
+	for _, f := range ctx {
+		fmt.Fprintf(&b, "(%d,%d)", f.Site, f.Fn)
+	}
+	return b.String()
 }
 
 // identIndexOf maps each recorded thread ident to its stream index;

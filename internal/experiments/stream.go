@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dacce/internal/ccdag"
+	"dacce/internal/core"
+	"dacce/internal/machine"
+	"dacce/internal/prog"
+	"dacce/internal/workload"
+)
+
+// StreamConfig parameterizes the streaming-decode firehose suite: a
+// corpus of real captures is taken from a steady workload run, then
+// replayed through the decoder far past saturation — the regime a
+// long-lived profiler or decode service lives in, where every context
+// has been seen before and the question is what a repeat decode costs.
+// The suite prices the slice path (one materialized []ContextFrame per
+// decode) against the node path (one interned *ccdag.Node per decode),
+// and the DAG's two structural claims: a warm re-decode allocates
+// nothing, and context equality is one pointer compare.
+type StreamConfig struct {
+	// Samples is the firehose length — total decodes per timed pass
+	// (default 1,000,000).
+	Samples int64
+	// Threads is the corpus workload's thread count (default 4).
+	Threads int
+	// CallsPerThread is the corpus workload's call budget per thread
+	// (default 150k).
+	CallsPerThread int64
+	// SampleEvery is the corpus sampling period in calls (default 16 —
+	// dense, so the capture corpus is large and varied).
+	SampleEvery int64
+	// EqualityDepth is the context depth for the equality microbench
+	// (default 64).
+	EqualityDepth int
+	// EqualityPairs is how many context pairs the equality bench sweeps
+	// per measured pass (default 256).
+	EqualityPairs int
+}
+
+func (c *StreamConfig) fill() {
+	if c.Samples == 0 {
+		c.Samples = 1_000_000
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.CallsPerThread == 0 {
+		c.CallsPerThread = 150_000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 16
+	}
+	if c.EqualityDepth == 0 {
+		c.EqualityDepth = 64
+	}
+	if c.EqualityPairs == 0 {
+		c.EqualityPairs = 256
+	}
+}
+
+// StreamReport is the suite's result, serialized as BENCH_dag.json.
+type StreamReport struct {
+	Config     StreamConfig `json:"config"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+
+	// CorpusCaptures is how many real captures the workload run
+	// retained; the firehose cycles over them.
+	CorpusCaptures int `json:"corpus_captures"`
+	// Decoded is the total decodes each timed pass performed (≥
+	// Config.Samples).
+	Decoded int64 `json:"decoded"`
+
+	// SliceNsPerSample / NodeNsPerSample are the per-decode costs of
+	// the two paths over the same capture stream, DAG warm.
+	SliceNsPerSample float64 `json:"slice_ns_per_sample"`
+	NodeNsPerSample  float64 `json:"node_ns_per_sample"`
+	// NodeSpeedupVsSlice is SliceNsPerSample / NodeNsPerSample.
+	NodeSpeedupVsSlice float64 `json:"node_speedup_vs_slice"`
+
+	// AllocsPerSampleWarm is heap allocations per decode on the warm
+	// node pass — the suite's 0-alloc claim, measured over the whole
+	// firehose.
+	AllocsPerSampleWarm float64 `json:"allocs_per_sample_warm"`
+
+	// DAG shape after the firehose.
+	DAGNodes         int64   `json:"dag_nodes"`
+	DistinctContexts int64   `json:"distinct_contexts"`
+	InternHitRate    float64 `json:"intern_hit_rate"`
+	DAGBytesEstimate int64   `json:"dag_bytes_estimate"`
+	// BytesPerDistinctContext is DAGBytesEstimate / DistinctContexts —
+	// what suffix sharing brings the marginal cost of remembering a
+	// context down to.
+	BytesPerDistinctContext float64 `json:"bytes_per_distinct_context"`
+
+	// Equality microbench: pointer compare of interned nodes vs
+	// DiffContexts over equal depth-EqualityDepth slice contexts.
+	EqualityDepth        int     `json:"equality_depth"`
+	PointerEqNsPerOp     float64 `json:"pointer_eq_ns_per_op"`
+	DiffContextsNsPerOp  float64 `json:"diff_contexts_ns_per_op"`
+	PointerEqSpeedup     float64 `json:"pointer_eq_speedup"`
+	EqualityChecksPerRun int64   `json:"equality_checks_per_run"`
+}
+
+// Stream runs the firehose suite and returns the report.
+func Stream(cfg StreamConfig) (*StreamReport, error) {
+	cfg.fill()
+	rep := &StreamReport{
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Corpus: a real steady-workload run with samples retained.
+	w, err := workload.Build(steadyProfile(cfg.Threads, cfg.CallsPerThread))
+	if err != nil {
+		return nil, err
+	}
+	d := core.New(w.P, core.Options{})
+	m := w.NewMachine(d, machine.Config{SampleEvery: cfg.SampleEvery})
+	rs, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	captures := make([]*core.Capture, 0, len(rs.Samples))
+	for _, s := range rs.Samples {
+		captures = append(captures, s.Capture.(*core.Capture))
+	}
+	if len(captures) == 0 {
+		return nil, fmt.Errorf("stream: corpus run retained no captures")
+	}
+	rep.CorpusCaptures = len(captures)
+
+	// Warm pass: intern every capture once (unmeasured — this is the
+	// DAG's build cost, paid once per distinct context), verify the node
+	// materialization against the slice decode, and count distinct
+	// contexts by their canonical leaf.
+	distinct := make(map[*ccdag.Node]struct{}, len(captures))
+	for i, c := range captures {
+		n, err := d.DecodeNode(c)
+		if err != nil {
+			return nil, fmt.Errorf("stream: warm decode of capture %d: %w", i, err)
+		}
+		ctx, err := d.Decode(c)
+		if err != nil {
+			return nil, err
+		}
+		if diff := core.DiffContexts(core.NodeContext(n), ctx); diff != "" {
+			return nil, fmt.Errorf("stream: capture %d node/slice divergence: %s", i, diff)
+		}
+		distinct[n] = struct{}{}
+	}
+	rep.DistinctContexts = int64(len(distinct))
+
+	// Timed slice pass: cycle the corpus to the firehose length.
+	rep.Decoded = cfg.Samples
+	start := time.Now()
+	for i := int64(0); i < cfg.Samples; i++ {
+		if _, err := d.Decode(captures[i%int64(len(captures))]); err != nil {
+			return nil, err
+		}
+	}
+	rep.SliceNsPerSample = float64(time.Since(start).Nanoseconds()) / float64(cfg.Samples)
+
+	// Timed node pass over the same stream, with the allocation meter
+	// around it. The DAG is warm: every decode must resolve to existing
+	// nodes without touching the heap.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := int64(0); i < cfg.Samples; i++ {
+		if _, err := d.DecodeNode(captures[i%int64(len(captures))]); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	rep.NodeNsPerSample = float64(elapsed.Nanoseconds()) / float64(cfg.Samples)
+	rep.AllocsPerSampleWarm = float64(after.Mallocs-before.Mallocs) / float64(cfg.Samples)
+	if rep.NodeNsPerSample > 0 {
+		rep.NodeSpeedupVsSlice = rep.SliceNsPerSample / rep.NodeNsPerSample
+	}
+
+	st := d.DAG().Stats()
+	rep.DAGNodes = st.Nodes
+	rep.InternHitRate = st.HitRate()
+	rep.DAGBytesEstimate = st.BytesEstimate
+	if rep.DistinctContexts > 0 {
+		rep.BytesPerDistinctContext = float64(st.BytesEstimate) / float64(rep.DistinctContexts)
+	}
+
+	rep.EqualityDepth = cfg.EqualityDepth
+	rep.PointerEqNsPerOp, rep.DiffContextsNsPerOp, rep.EqualityChecksPerRun =
+		equalityBench(cfg.EqualityDepth, cfg.EqualityPairs)
+	if rep.PointerEqNsPerOp > 0 {
+		rep.PointerEqSpeedup = rep.DiffContextsNsPerOp / rep.PointerEqNsPerOp
+	}
+	return rep, nil
+}
+
+// equalityBench prices the same question both ways: "are these two
+// contexts the same?" for equal depth-`depth` contexts, asked of
+// interned nodes (one pointer compare) and of slice contexts through
+// DiffContexts (the helper every cross-encoder comparison in the
+// repository uses). Each side sweeps `pairs` independent pairs per
+// measured pass so neither comparison can be hoisted out of its loop;
+// both sides answer every pair affirmatively, keeping the work
+// identical in meaning.
+func equalityBench(depth, pairs int) (ptrNs, diffNs float64, checks int64) {
+	dag := ccdag.New()
+	nodeA := make([]*ccdag.Node, pairs)
+	nodeB := make([]*ccdag.Node, pairs)
+	ctxA := make([]core.Context, pairs)
+	ctxB := make([]core.Context, pairs)
+	for i := 0; i < pairs; i++ {
+		// Each pair is its own depth-long chain; A and B intern the
+		// same frames, so canonicality makes them one pointer. The
+		// slice twins live in separate backing arrays.
+		var n *ccdag.Node
+		for f := 0; f < depth; f++ {
+			n = dag.Intern(n, prog.SiteID(i), prog.FuncID(f))
+		}
+		nodeA[i] = n
+		var m *ccdag.Node
+		for f := 0; f < depth; f++ {
+			m = dag.Intern(m, prog.SiteID(i), prog.FuncID(f))
+		}
+		nodeB[i] = m
+		ctxA[i] = core.NodeContext(n)
+		ctxB[i] = core.NodeContext(m)
+	}
+
+	// Calibrate pass counts so each side runs long enough to time
+	// reliably; the pointer side is orders of magnitude faster, so it
+	// gets proportionally more passes.
+	const (
+		ptrPasses  = 1 << 14
+		diffPasses = 1 << 8
+	)
+	eq := 0
+	start := time.Now()
+	for p := 0; p < ptrPasses; p++ {
+		for i := 0; i < pairs; i++ {
+			if nodeA[i] == nodeB[i] {
+				eq++
+			}
+		}
+	}
+	ptrNs = float64(time.Since(start).Nanoseconds()) / float64(ptrPasses*pairs)
+	if eq != ptrPasses*pairs {
+		panic("equalityBench: interned pairs are not pointer-equal")
+	}
+
+	eq = 0
+	start = time.Now()
+	for p := 0; p < diffPasses; p++ {
+		for i := 0; i < pairs; i++ {
+			if core.DiffContexts(ctxA[i], ctxB[i]) == "" {
+				eq++
+			}
+		}
+	}
+	diffNs = float64(time.Since(start).Nanoseconds()) / float64(diffPasses*pairs)
+	if eq != diffPasses*pairs {
+		panic("equalityBench: slice pairs are not DiffContexts-equal")
+	}
+	return ptrNs, diffNs, int64((ptrPasses + diffPasses) * pairs)
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dacce/internal/buildinfo"
+	"dacce/internal/ccdag"
 	"dacce/internal/ccprof"
 	"dacce/internal/core"
 	"dacce/internal/persist"
@@ -85,6 +86,21 @@ type tenant struct {
 	prof      *ccprof.Streaming
 	profShard atomic.Int64
 
+	// dag interns every context this tenant decodes; repeated contexts
+	// across requests share suffix storage and feed the profiler as
+	// canonical nodes.
+	dag *ccdag.DAG
+	// memo caches fully-determined decodes: a capture with an empty
+	// ccStack and no spawn chain decodes to exactly one context per
+	// (epoch, id, fn, root), so its interned node can be returned
+	// without re-walking the snapshot. Captures with CC entries or a
+	// spawn prefix carry decode input outside the key and are never
+	// memoized.
+	memoMu     sync.RWMutex
+	memo       map[memoKey]*ccdag.Node
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+
 	// slots is the concurrency cap: a request holds one slot for the
 	// duration of its decode work.
 	slots chan struct{}
@@ -95,6 +111,46 @@ type tenant struct {
 	decoded  atomic.Int64
 	errors   atomic.Int64
 	rejected atomic.Int64
+}
+
+// memoKey identifies one fully-determined decode: with no ccStack copy
+// and no spawn prefix, these four fields are the entire decode input.
+type memoKey struct {
+	epoch uint32
+	id    uint64
+	fn    prog.FuncID
+	root  prog.FuncID
+}
+
+// memoizable reports whether a capture's decode is determined by its
+// memoKey alone.
+func memoizable(c *core.Capture) bool {
+	return len(c.CC) == 0 && c.Spawn == nil
+}
+
+// decodeNode resolves a capture to its interned context node, through
+// the memo when the capture is memoizable.
+func (t *tenant) decodeNode(c *core.Capture) (*ccdag.Node, error) {
+	if !memoizable(c) {
+		return t.dec.DecodeNode(t.dag, c)
+	}
+	key := memoKey{epoch: c.Epoch, id: c.ID, fn: c.Fn, root: c.Root}
+	t.memoMu.RLock()
+	n, ok := t.memo[key]
+	t.memoMu.RUnlock()
+	if ok {
+		t.memoHits.Add(1)
+		return n, nil
+	}
+	n, err := t.dec.DecodeNode(t.dag, c)
+	if err != nil {
+		return nil, err
+	}
+	t.memoMisses.Add(1)
+	t.memoMu.Lock()
+	t.memo[key] = n
+	t.memoMu.Unlock()
+	return n, nil
 }
 
 // Server is the decode service. Create with New, serve via Handler.
@@ -140,6 +196,12 @@ func New(cfg Config) *Server {
 	reg.Help("dacced_queue_depth", "Requests waiting for a tenant slot")
 	reg.Help("dacced_request_duration_ns", "Wall time per HTTP request by route (ns)")
 	reg.Help("dacced_http_inflight", "HTTP requests currently in the handler, any route")
+	reg.Help("dacced_dag_nodes", "Interned context-DAG nodes per tenant")
+	reg.Help("dacced_dag_intern_hits", "Context-DAG intern lookups that found an existing node")
+	reg.Help("dacced_dag_intern_misses", "Context-DAG intern lookups that created a node")
+	reg.Help("dacced_dag_bytes_estimate", "Estimated context-DAG memory footprint per tenant (bytes)")
+	reg.Help("dacced_memo_hits", "Decodes served from the per-tenant node memo")
+	reg.Help("dacced_memo_misses", "Memoizable decodes that had to walk the snapshot")
 	s.mRequests = func(endpoint, code string) *telemetry.Counter {
 		return reg.Counter("dacced_requests_total", "endpoint", endpoint, "code", code)
 	}
@@ -223,6 +285,8 @@ func (s *Server) Register(name string, data []byte) (string, error) {
 		st:    st,
 		raw:   data,
 		prof:  ccprof.NewStreaming(dec.P),
+		dag:   ccdag.New(),
+		memo:  map[memoKey]*ccdag.Node{},
 		slots: make(chan struct{}, s.cfg.MaxConcurrent),
 	}
 	s.mu.Lock()
@@ -339,6 +403,13 @@ type TenantStats struct {
 	Rejected  int64  `json:"rejected"`
 	Queued    int64  `json:"queued"`
 	SnapBytes int    `json:"snapshot_bytes"`
+
+	// Context-DAG and decode-memo health.
+	DAGNodes    int64   `json:"dag_nodes"`
+	DAGHitRate  float64 `json:"dag_hit_rate"`
+	DAGBytesEst int64   `json:"dag_bytes_estimate"`
+	MemoHits    int64   `json:"memo_hits"`
+	MemoMisses  int64   `json:"memo_misses"`
 }
 
 // Stats is the /v1/stats response body.
@@ -415,16 +486,20 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		Hash:    t.hash,
 		Results: make([]DecodeResult, 0, len(req.Captures)),
 	}
+	// mctx is the batch's node-materialization buffer, reused across
+	// captures.
+	var mctx core.Context
 	for _, c := range req.Captures {
 		var res DecodeResult
 		if c == nil {
 			res.Error = "null capture"
-		} else if ctx, err := t.dec.Decode(c); err != nil {
+		} else if n, err := t.decodeNode(c); err != nil {
 			res.Error = err.Error()
 		} else {
-			t.prof.ObserveContext(shard, ctx)
-			res.Frames = make([]Frame, 0, len(ctx))
-			for _, f := range ctx {
+			t.prof.ObserveContextNode(shard, n)
+			mctx = core.AppendNodeContext(mctx, n)
+			res.Frames = make([]Frame, 0, len(mctx))
+			for _, f := range mctx {
 				res.Frames = append(res.Frames, Frame{
 					Site: f.Site, Fn: f.Fn, Name: t.dec.P.Funcs[f.Fn].Name,
 				})
@@ -489,32 +564,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(keys)
 	for _, key := range keys {
 		t := s.tenants[key]
+		dst := t.dag.Stats()
 		st.Tenants = append(st.Tenants, TenantStats{
-			Name:      t.name,
-			Hash:      t.hash,
-			Epochs:    len(t.st.Epochs),
-			Funcs:     len(t.st.Funcs),
-			Edges:     len(t.st.Edges),
-			MaxID:     t.st.Epochs[len(t.st.Epochs)-1].MaxID,
-			Requests:  t.requests.Load(),
-			Decoded:   t.decoded.Load(),
-			Errors:    t.errors.Load(),
-			Rejected:  t.rejected.Load(),
-			Queued:    t.queued.Load(),
-			SnapBytes: len(t.raw),
+			DAGNodes:    dst.Nodes,
+			DAGHitRate:  dst.HitRate(),
+			DAGBytesEst: dst.BytesEstimate,
+			MemoHits:    t.memoHits.Load(),
+			MemoMisses:  t.memoMisses.Load(),
+			Name:        t.name,
+			Hash:        t.hash,
+			Epochs:      len(t.st.Epochs),
+			Funcs:       len(t.st.Funcs),
+			Edges:       len(t.st.Edges),
+			MaxID:       t.st.Epochs[len(t.st.Epochs)-1].MaxID,
+			Requests:    t.requests.Load(),
+			Decoded:     t.decoded.Load(),
+			Errors:      t.errors.Load(),
+			Rejected:    t.rejected.Load(),
+			Queued:      t.queued.Load(),
+			SnapBytes:   len(t.raw),
 		})
 	}
 	s.mu.RUnlock()
 	s.writeJSON(w, "stats", http.StatusOK, &st)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Refresh queue-depth gauges at scrape time.
+// refreshTenantGauges recomputes the per-tenant scrape-time gauges:
+// queue depth plus the context-DAG and decode-memo health counters.
+func (s *Server) refreshTenantGauges() {
+	reg := s.cfg.Registry
 	s.mu.RLock()
 	for _, t := range s.tenants {
-		s.cfg.Registry.Gauge("dacced_queue_depth", "tenant", t.name).Set(t.queued.Load())
+		reg.Gauge("dacced_queue_depth", "tenant", t.name).Set(t.queued.Load())
+		st := t.dag.Stats()
+		reg.Gauge("dacced_dag_nodes", "tenant", t.name).Set(st.Nodes)
+		reg.Gauge("dacced_dag_intern_hits", "tenant", t.name).Set(st.Hits)
+		reg.Gauge("dacced_dag_intern_misses", "tenant", t.name).Set(st.Misses)
+		reg.Gauge("dacced_dag_bytes_estimate", "tenant", t.name).Set(st.BytesEstimate)
+		reg.Gauge("dacced_memo_hits", "tenant", t.name).Set(t.memoHits.Load())
+		reg.Gauge("dacced_memo_misses", "tenant", t.name).Set(t.memoMisses.Load())
 	}
 	s.mu.RUnlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshTenantGauges()
 	s.count("metrics", http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.cfg.Registry.WritePrometheus(w)
@@ -552,6 +646,7 @@ func (s *Server) handleCcprof(w http.ResponseWriter, r *http.Request) {
 // handleVars serves every registered metric as JSON, histograms with
 // their quantile snapshots — the machine-readable twin of /metrics.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	s.refreshTenantGauges()
 	s.count("vars", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.cfg.Registry.WriteJSON(w)

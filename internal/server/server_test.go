@@ -151,6 +151,89 @@ func TestRemoteDecodeMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestDecodeMemoAndDAG verifies the node-decode plumbing behind
+// /v1/decode: repeated batches hit the per-tenant memo instead of
+// re-walking the snapshot, results stay identical, and the DAG/memo
+// health shows up in /v1/stats and on /metrics and /debug/vars.
+func TestDecodeMemoAndDAG(t *testing.T) {
+	f := newServeFixture(t, Config{}, 30_000, 29)
+	caps := f.captures
+	if len(caps) > 512 {
+		caps = caps[:512]
+	}
+	memoable := 0
+	for _, c := range caps {
+		if memoizable(c) {
+			memoable++
+		}
+	}
+	if memoable == 0 {
+		t.Fatal("fixture produced no memoizable captures")
+	}
+
+	_, first := f.decode(t, "serve", caps)
+	_, second := f.decode(t, "serve", caps)
+	if first == nil || second == nil {
+		t.Fatal("decode batches failed")
+	}
+	for i := range first.Results {
+		if fmt.Sprint(first.Results[i]) != fmt.Sprint(second.Results[i]) {
+			t.Fatalf("capture %d decoded differently on the memoized pass", i)
+		}
+	}
+
+	tn := f.srv.resolve("serve")
+	hits, misses := tn.memoHits.Load(), tn.memoMisses.Load()
+	// The second pass resolves every memoizable capture from the memo;
+	// the first pass may already have hit on duplicate captures.
+	if hits < int64(memoable) {
+		t.Fatalf("memo hits = %d, want ≥ %d (memoizable per batch)", hits, memoable)
+	}
+	if misses == 0 || misses > int64(memoable) {
+		t.Fatalf("memo misses = %d, want in [1, %d]", misses, memoable)
+	}
+	if n := tn.dag.Len(); n == 0 {
+		t.Fatal("tenant DAG is empty after decodes")
+	}
+
+	// Stats surface the DAG and memo fields.
+	resp, err := http.Get(f.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tenants) != 1 {
+		t.Fatalf("stats lists %d tenants", len(st.Tenants))
+	}
+	ts := st.Tenants[0]
+	if ts.DAGNodes == 0 || ts.DAGBytesEst == 0 {
+		t.Fatalf("stats missing DAG health: %+v", ts)
+	}
+	if ts.MemoHits != hits || ts.MemoMisses != misses {
+		t.Fatalf("stats memo hits/misses %d/%d, tenant counters %d/%d",
+			ts.MemoHits, ts.MemoMisses, hits, misses)
+	}
+
+	// The scrape-time gauges appear on /metrics and /debug/vars.
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(f.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, metric := range []string{"dacced_dag_nodes", "dacced_memo_hits"} {
+			if !strings.Contains(string(body), metric) {
+				t.Fatalf("%s missing %s:\n%s", path, metric, body)
+			}
+		}
+	}
+}
+
 // TestBackpressure verifies the bounded queue: with one slot held and
 // the one queue position taken, the next request is rejected with 429
 // and a Retry-After header, and the queued request completes once the

@@ -124,6 +124,53 @@ func TestOnSampleNoAllocs(t *testing.T) {
 	}
 }
 
+// TestDecodeSampleNodeNoAllocs gates the DAG decode path: once a
+// context has been interned, re-decoding a sample of it into its
+// canonical node touches neither the heap nor any lock — the pooled
+// scratch and the DAG's lock-free read path cover the whole decode.
+// This is the invariant the streaming pipeline's firehose pricing
+// (`daccebench stream`) rests on.
+func TestDecodeSampleNodeNoAllocs(t *testing.T) {
+	f := newSteadyFixture(t)
+	defer f.close()
+	c := f.d.CaptureTyped(f.th)
+	s := machine.Sample{Thread: 0, Fn: c.Fn, Capture: c}
+	for i := 0; i < 64; i++ { // warm the scratch pool and intern the context
+		if _, err := f.d.DecodeSampleNode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := f.d.DecodeSampleNode(s); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm DecodeSampleNode allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkDecodeSampleNode measures the warm node decode against
+// BenchmarkOnSample's slice path — the per-sample cost a streaming
+// consumer pays for a canonical pointer instead of a frame slice.
+func BenchmarkDecodeSampleNode(b *testing.B) {
+	f := newSteadyFixture(b)
+	defer f.close()
+	c := f.d.CaptureTyped(f.th)
+	s := machine.Sample{Thread: 0, Fn: c.Fn, Capture: c}
+	for i := 0; i < 64; i++ {
+		if _, err := f.d.DecodeSampleNode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.d.DecodeSampleNode(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // newProfiledFixture is the steady fixture with the always-on streaming
 // profiler attached as the encoder's context observer.
 func newProfiledFixture(tb testing.TB) (*steadyFixture, *ccprof.Streaming) {
