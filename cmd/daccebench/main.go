@@ -8,6 +8,7 @@
 //	daccebench warmup [-threads 1,2,4,8] [-compare]   cold-start scalability suite
 //	daccebench obs    [-threads 1,2,4]                observability-overhead suite
 //	daccebench stream [-samples 1000000]              streaming-decode firehose suite
+//	daccebench evict  [-rounds 120]                   epoch-retirement reclamation suite
 //	daccebench adversarial [-targets 2,16,1024]       adversarial-workload suite
 //	daccebench pause  [-edges 10000,1000000]          pause-vs-graph-size suite
 //	daccebench all    [-calls N]                      everything
@@ -70,6 +71,7 @@ func run() int {
 	ccprofOut := fs.String("ccprof-out", "", "steady: write the streaming context profile to this file (pprof protobuf; folded text for .folded names)")
 	reps := fs.Int("reps", 0, "obs: steady runs per cell, fastest reported (default 3); pause: measured passes per cell (default 5)")
 	samples := fs.Int64("samples", 0, "stream: firehose decodes per timed pass (default 1000000)")
+	rounds := fs.Int("rounds", 0, "evict: epoch retirements per plane (default 120)")
 	targets := fs.String("targets", "", "adversarial: comma-separated mega-indirect target counts (default 2,4,8,16,64,256,1024)")
 	depth := fs.Int("depth", 0, "adversarial: recursion-torture depth (default 100000)")
 	edgesFlag := fs.String("edges", "", "pause: comma-separated base graph sizes (default 10000,100000,1000000)")
@@ -165,6 +167,8 @@ func run() int {
 		err = runObs(*threadsFlag, *calls, *sample, *reps, *benchJSON)
 	case "stream":
 		err = runStream(*threadsFlag, *samples, *calls, *sample, *benchJSON)
+	case "evict":
+		err = runEvict(*threadsFlag, *rounds, *calls, *sample, *benchJSON)
 	case "adversarial":
 		err = runAdversarial(*targets, *threadsFlag, *calls, *sample, *depth, *benchJSON)
 	case "pause":
@@ -409,6 +413,67 @@ func runStream(threadsCSV string, samples, callsPerThread, sampleEvery int64, js
 	return nil
 }
 
+// runEvict drives the epoch-retirement reclamation suite — encoder
+// plane (generation collection after forced passes) and dacced plane
+// (epoch-bucketed memo + /v1/retire) — and renders a summary;
+// -bench-json writes the full report in the BENCH_evict.json format.
+func runEvict(threadsCSV string, rounds int, callsPerRound, sampleEvery int64, jsonOut string) error {
+	cfg := experiments.EvictConfig{
+		Rounds:        rounds,
+		CallsPerRound: callsPerRound,
+	}
+	// The shared -sample default (256) suits the figure benchmarks; the
+	// evict suite wants dense churn (default 5).
+	if sampleEvery != 256 {
+		cfg.SampleEvery = sampleEvery
+	}
+	threads, err := parseThreads(threadsCSV, nil)
+	if err != nil {
+		return err
+	}
+	if len(threads) > 0 {
+		cfg.Threads = threads[0]
+	}
+	rep, err := experiments.Evict(cfg)
+	if err != nil {
+		return err
+	}
+	verdict := func(ok bool) string {
+		if ok {
+			return "flat"
+		}
+		return "GROWING"
+	}
+	fmt.Printf("# Epoch-retirement reclamation (GOMAXPROCS=%d, NumCPU=%d)\n", rep.GoMaxProcs, rep.NumCPU)
+	fmt.Printf("encoder plane: %d retirements, DAG nodes early %d / late peak %d / final %d [%s]\n",
+		rep.EncoderRounds, rep.EncoderDAGNodesEarly, rep.EncoderDAGNodesLate,
+		rep.EncoderDAGNodesFinal, verdict(rep.EncoderFlat))
+	fmt.Printf("  %d collections freed %d nodes\n", rep.EncoderCollections, rep.EncoderCollected)
+	fmt.Printf("server plane:  %d retirements, DAG nodes early %d / late peak %d / final %d [%s]\n",
+		rep.ServerRounds, rep.ServerDAGNodesEarly, rep.ServerDAGNodesLate,
+		rep.ServerDAGNodesFinal, verdict(rep.ServerFlat))
+	fmt.Printf("  memo peak %d, final %d, dropped %d entries; DAG collected %d nodes\n",
+		rep.ServerMemoPeak, rep.ServerMemoFinal, rep.ServerMemoDropped, rep.ServerCollected)
+	fmt.Printf("warm decode with collection enabled: %.4f allocs/decode over %d decodes\n",
+		rep.AllocsPerWarmDecode, rep.WarmDecodes)
+	if !rep.EncoderFlat || !rep.ServerFlat {
+		return fmt.Errorf("evict: footprint grew with history (encoder flat=%v, server flat=%v)",
+			rep.EncoderFlat, rep.ServerFlat)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(jsonOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "evict report written to", jsonOut)
+	}
+	return nil
+}
+
 // runAdversarial drives the adversarial-workload suite — the
 // inline-chain-vs-hash dispatch crossover sweep, the 64-thread module
 // churn run, and the recursion-torture decode-latency probe — and
@@ -560,7 +625,7 @@ func parseThreads(csv string, def []int) ([]int, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|stream|adversarial|pause|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-samples N] [-targets 2,16,1024] [-depth N] [-edges 10000,1000000] [-deltas 64,4096] [-modes incremental,full,serialized] [-slo-pause-p99 US] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
+	fmt.Fprintln(os.Stderr, "usage: daccebench {table1|fig8|fig9|fig10|steady|warmup|obs|stream|evict|adversarial|pause|all|report [file]|dump-profiles|version} [-calls N] [-bench a,b] [-sample N] [-threads 1,2,4,8] [-compare] [-no-replay] [-reps N] [-samples N] [-rounds N] [-targets 2,16,1024] [-depth N] [-edges 10000,1000000] [-deltas 64,4096] [-modes incremental,full,serialized] [-slo-pause-p99 US] [-ccprof-out file] [-save-state file] [-load-state file] [-profiles file.json] [-metrics] [-metrics-format prom|json] [-trace-out file.json] [-flight-recorder N] [-cpuprofile file] [-memprofile file] [-bench-json file]")
 }
 
 func runReport(path string, cfg experiments.RunConfig) error {

@@ -246,7 +246,11 @@ func NewCCStreaming(p *Program) *CCStreaming { return ccprof.NewStreaming(p) }
 // pointer comparison, contexts share suffix storage, and a warm
 // re-decode allocates nothing. Encoder.DecodeNode / DecodeSampleNode
 // return interned nodes from the encoder's own DAG; NodeContext
-// materializes a node back into a Context.
+// materializes a node back into a Context. The DAG is bounded, not
+// append-only: the encoder collects generations below the oldest
+// still-referenced epoch after each re-encoding pass (release captures
+// with Encoder.ReleaseCapture to let the floor advance), preserving
+// survivor pointer identity across collections.
 type (
 	// CCNode is one interned context node; pointer-equal CCNodes are
 	// equal contexts.
@@ -256,10 +260,19 @@ type (
 	// CCDAGStats is a DAG health snapshot (nodes, intern hit rate,
 	// memory estimate).
 	CCDAGStats = ccdag.Stats
+	// CCDAGCollectStats reports one DAG collection: the generation
+	// floor, the node count before, and how many nodes were freed or
+	// rescued by racing readers.
+	CCDAGCollectStats = ccdag.CollectStats
 	// NodeObserver is a ContextObserver upgrade: implementations
 	// receive interned nodes instead of frame slices from the sampling
 	// path.
 	NodeObserver = core.NodeObserver
+	// NodeReleaser is an optional ContextObserver extension: the
+	// encoder calls ReleaseNodes before collecting the DAG so the
+	// observer can drop its node pins (CCStreaming implements it by
+	// folding pinned counts into the merged profile).
+	NodeReleaser = core.NodeReleaser
 )
 
 // NewCCDAG returns an empty context DAG, for interning contexts

@@ -9,10 +9,18 @@
 // lock-free (atomic loads over immutable chain entries), and only an
 // actual insertion takes its shard's mutex.
 //
-// Nodes are never mutated or freed for the life of the DAG; any *Node
-// handed out stays valid and canonical forever, which is what lets the
-// decode pipeline, the streaming profiler and the dacced decode memo
-// treat a node as a one-word, O(1)-comparable context key.
+// Node payloads (site, fn, pred, depth, id, hash) are immutable, and
+// any *Node handed out stays valid memory forever (the garbage
+// collector keeps it alive while someone holds it). Canonicality,
+// however, is generation-scoped: every Intern stamps the node it
+// returns with the DAG's current generation, and Collect drops nodes
+// whose stamp fell below a caller-chosen floor from the intern table —
+// a later decode of the same context then interns a fresh node. Holders
+// that need a node to stay canonical across collections either keep
+// touching it through Intern, re-validate it with Fresh, or pin it via
+// Collect's pin callback; the decode pipeline, the streaming profiler
+// and the dacced decode memo each do one of these, so they can keep
+// treating a node as a one-word, O(1)-comparable context key.
 package ccdag
 
 import (
@@ -39,6 +47,27 @@ type Node struct {
 	// hash caches the node's intern hash so pushing a child mixes one
 	// word instead of rehashing the whole path.
 	hash uint64
+
+	// gen is the generation that last touched the node: stamped by every
+	// Intern that returns it, raised by Collect's mark phase when the
+	// node is reachable from a live node or a pin. Nodes whose gen falls
+	// below a Collect's floor are dropped from the intern table. Not part
+	// of the node's identity or hash.
+	gen atomic.Uint64
+}
+
+// touch raises n's generation stamp to at least g. Stamps only ever go
+// up, so racing stampers cannot regress a newer stamp.
+func (n *Node) touch(g uint64) {
+	for {
+		old := n.gen.Load()
+		if old >= g {
+			return
+		}
+		if n.gen.CompareAndSwap(old, g) {
+			return
+		}
+	}
 }
 
 // Site returns the call site through which Fn was entered (prog.NoSite
@@ -103,6 +132,20 @@ const (
 type DAG struct {
 	shards [shardCount]shard
 	nextID atomic.Uint64
+
+	// gen is the current generation. Interns stamp their result with it;
+	// AdvanceGen bumps it at an epoch boundary; Collect drops nodes whose
+	// stamp predates its floor.
+	gen atomic.Uint64
+
+	// collectMu serializes Collect passes against each other (interning
+	// stays lock-free and concurrent throughout a collection).
+	collectMu sync.Mutex
+
+	// collections/collected count completed Collect passes and the total
+	// nodes they reclaimed.
+	collections atomic.Int64
+	collected   atomic.Int64
 }
 
 // New returns an empty DAG.
@@ -144,17 +187,34 @@ func (d *DAG) Root(fn prog.FuncID) *Node { return d.Intern(nil, prog.NoSite, fn)
 
 // Intern returns the canonical node for pred extended by one frame
 // (site, fn), creating it if this exact context has never been seen.
-// pred must itself be canonical (obtained from this DAG) or nil for a
-// root frame. The hit path is lock-free and allocation-free.
+// pred must itself be canonical — returned by an Intern call of the
+// same walk (walks stamp frames root-first, which the collector's
+// liveness invariant relies on) — or nil for a root frame. The steady
+// hit path is lock-free and allocation-free: one generation load on top
+// of the chain walk.
 func (d *DAG) Intern(pred *Node, site prog.SiteID, fn prog.FuncID) *Node {
 	h := nodeHash(pred, site, fn)
 	sh := &d.shards[h&(shardCount-1)]
+	g := d.gen.Load()
 	t := sh.table.Load()
 	if n := lookup(t, h, pred, site, fn); n != nil {
+		if n.gen.Load() != g {
+			n.touch(g)
+			// The stamp may have raced a Collect that already decided to
+			// drop n from this shard. If the shard's table is unchanged,
+			// the collector has not published its sweep yet, so its
+			// post-publish rescue pass is ordered after our stamp and
+			// re-inserts n; if the table moved, re-resolve under the
+			// shard lock (below), which also waits out a rescue pass in
+			// progress. Either way the pointer we return stays canonical.
+			if sh.table.Load() != t {
+				return sh.intern(d, g, h, pred, site, fn, n)
+			}
+		}
 		sh.hits.Add(1)
 		return n
 	}
-	return sh.intern(d, h, pred, site, fn)
+	return sh.intern(d, g, h, pred, site, fn, nil)
 }
 
 // lookup walks the bucket chain for (pred, site, fn). Lock-free: the
@@ -173,26 +233,39 @@ func lookup(t *table, h uint64, pred *Node, site prog.SiteID, fn prog.FuncID) *N
 }
 
 // intern is the slow path: re-check under the shard lock (the node may
-// have been inserted since the lock-free miss), then insert.
-func (sh *shard) intern(d *DAG, h uint64, pred *Node, site prog.SiteID, fn prog.FuncID) *Node {
+// have been inserted since the lock-free miss), then insert. rescue,
+// when non-nil, is a node the caller found and stamped in a table a
+// concurrent Collect replaced: if no equivalent node is present under
+// the lock, rescue itself is re-inserted, preserving pointer identity
+// for every reader that already holds it.
+func (sh *shard) intern(d *DAG, g, h uint64, pred *Node, site prog.SiteID, fn prog.FuncID, rescue *Node) *Node {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	t := sh.table.Load()
 	if n := lookup(t, h, pred, site, fn); n != nil {
+		n.touch(g)
 		sh.hits.Add(1)
 		return n
 	}
-	depth := uint32(1)
-	if pred != nil {
-		depth = pred.depth + 1
-	}
-	n := &Node{
-		site:  site,
-		fn:    fn,
-		pred:  pred,
-		depth: depth,
-		id:    d.nextID.Add(1),
-		hash:  h,
+	n := rescue
+	if n != nil {
+		n.touch(g)
+		sh.hits.Add(1)
+	} else {
+		depth := uint32(1)
+		if pred != nil {
+			depth = pred.depth + 1
+		}
+		n = &Node{
+			site:  site,
+			fn:    fn,
+			pred:  pred,
+			depth: depth,
+			id:    d.nextID.Add(1),
+			hash:  h,
+		}
+		n.gen.Store(g)
+		sh.misses.Add(1)
 	}
 	if sh.count+1 > loadFactor*int64(len(t.buckets)) {
 		t = sh.grow(t)
@@ -200,7 +273,6 @@ func (sh *shard) intern(d *DAG, h uint64, pred *Node, site prog.SiteID, fn prog.
 	b := &t.buckets[(h>>32)&t.mask]
 	b.Store(&entry{node: n, next: b.Load()})
 	sh.count++
-	sh.misses.Add(1)
 	return n
 }
 
@@ -233,8 +305,13 @@ type Stats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 	// BytesEstimate approximates the DAG's resident size: nodes, chain
-	// entries and bucket arrays.
+	// entries and bucket arrays. Post-collection it reflects the
+	// compacted table, not the historical peak.
 	BytesEstimate int64 `json:"bytes_estimate"`
+	// Collections and Collected count completed Collect passes and the
+	// total nodes they reclaimed.
+	Collections int64 `json:"collections"`
+	Collected   int64 `json:"collected"`
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any Intern.
@@ -249,7 +326,7 @@ func (s Stats) HitRate() float64 {
 // interned node and its chain entry (object header-less Go sizes,
 // rounded up to size classes).
 const (
-	nodeBytes  = 48
+	nodeBytes  = 56
 	entryBytes = 16
 )
 
@@ -257,7 +334,10 @@ const (
 // with interning; the counters are a consistent-enough snapshot for
 // monitoring (each is individually atomic).
 func (d *DAG) Stats() Stats {
-	var s Stats
+	s := Stats{
+		Collections: d.collections.Load(),
+		Collected:   d.collected.Load(),
+	}
 	for i := range d.shards {
 		sh := &d.shards[i]
 		s.Hits += sh.hits.Load()

@@ -171,9 +171,14 @@ func (s *Streaming) ObserveContextNode(thread int, n *ccdag.Node) {
 func (s *Streaming) Observed() int64 { return s.observed.Load() }
 
 // mergeLocked drains every shard's accumulated counts into the merged
-// profile. Caller holds s.mu. Shard trees keep their nodes (zeroed), so
-// a steady-state workload re-accumulates without allocating.
-func (s *Streaming) mergeLocked() {
+// profile. Caller holds s.mu. With drop false, shard trees and node
+// maps keep their (zeroed) entries, so a steady-state workload
+// re-accumulates without allocating. With drop true, node-map keys are
+// deleted after folding — inside the same per-shard critical section,
+// so no increment can land between the fold and the delete — releasing
+// the shards' *ccdag.Node pins for DAG reclamation; the next sample per
+// context re-creates its key (one map insert, warm-up cost only).
+func (s *Streaming) mergeLocked(drop bool) {
 	sp := *s.shards.Load()
 	for _, sh := range sp {
 		if sh == nil {
@@ -183,16 +188,33 @@ func (s *Streaming) mergeLocked() {
 		s.absorb(&sh.root, s.merged.root)
 		s.merged.total += sh.pending
 		for n, w := range sh.nodes {
-			if w == 0 {
-				continue
+			if w != 0 {
+				s.mscratch = core.AppendNodeContext(s.mscratch, n)
+				_ = s.merged.addN(s.mscratch, w)
 			}
-			s.mscratch = core.AppendNodeContext(s.mscratch, n)
-			_ = s.merged.addN(s.mscratch, w)
-			sh.nodes[n] = 0
+			if !drop {
+				sh.nodes[n] = 0
+			}
+		}
+		if drop {
+			clear(sh.nodes)
 		}
 		sh.pending = 0
 		sh.mu.Unlock()
 	}
+}
+
+// ReleaseNodes implements core.NodeReleaser: fold every shard's pending
+// node counts into the merged profile and drop the node keys, so the
+// profiler no longer pins any *ccdag.Node and a DAG collection can free
+// contexts that are otherwise dead. The merged profile keeps the full
+// aggregated tree — it stores frames, not node pointers — so no counts
+// are lost. The encoder calls this before each reclamation pass; safe
+// concurrently with ObserveContextNode.
+func (s *Streaming) ReleaseNodes() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked(true)
 }
 
 func (s *Streaming) absorb(from *snode, into *Node) {
@@ -210,7 +232,7 @@ func (s *Streaming) absorb(from *snode, into *Node) {
 func (s *Streaming) Profile() *Profile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mergeLocked()
+	s.mergeLocked(false)
 	return s.merged.clone()
 }
 
@@ -218,7 +240,7 @@ func (s *Streaming) Profile() *Profile {
 func (s *Streaming) Total() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mergeLocked()
+	s.mergeLocked(false)
 	return s.merged.total
 }
 
@@ -227,7 +249,7 @@ func (s *Streaming) Total() int64 {
 func (s *Streaming) WritePprof(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mergeLocked()
+	s.mergeLocked(false)
 	return s.merged.WritePprof(w)
 }
 
@@ -235,7 +257,7 @@ func (s *Streaming) WritePprof(w io.Writer) error {
 func (s *Streaming) WriteFolded(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mergeLocked()
+	s.mergeLocked(false)
 	return s.merged.WriteFolded(w)
 }
 

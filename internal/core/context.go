@@ -56,9 +56,13 @@ type tls struct {
 	// lastNode memoizes the interned node of the thread's previous
 	// sample: consecutive samples usually land in the same context, so
 	// the node-observer path verifies the memo with plain word compares
-	// (no hashing, no atomics) and re-interns only on a change. The DAG
-	// never evicts, so a stale memo is at worst a miss, never a dangling
-	// pointer.
+	// plus one generation probe (dag.Fresh) and re-interns only on a
+	// change. The Fresh check guards against DAG reclamation: a node
+	// untouched since before the low-water epoch may have been dropped
+	// from the intern table, and reusing it as a canonical key would
+	// fork identity — the memo is revalidated (re-interned) instead.
+	// The pointer itself can never dangle; dropped nodes remain valid
+	// memory, they just lose canonicality.
 	lastNode *ccdag.Node
 
 	// disc is this thread's edge publication buffer. The owner appends

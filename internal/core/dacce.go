@@ -226,10 +226,31 @@ type DACCE struct {
 
 	// dag is the encoder's hash-consed context DAG: the intern table
 	// behind DecodeNode/DecodeSampleNode and the node-mode sampling
-	// observer. Created with the encoder, append-only, never reset — a
-	// node stays canonical across re-encoding epochs because it is keyed
-	// by decoded frames, not by encoded ids.
+	// observer. Created with the encoder; a node stays canonical across
+	// re-encoding epochs because it is keyed by decoded frames, not by
+	// encoded ids. The table is bounded, not append-only: the DAG's
+	// generation advances in lockstep with the epoch counter, and
+	// maybeCollect sweeps nodes untouched since the low-water epoch
+	// after each pass (see reclaim.go).
 	dag *ccdag.DAG
+
+	// capRefs counts outstanding (un-released) captures per epoch; the
+	// oldest epoch with a nonzero counter is the low-water epoch below
+	// which no capture can legally still be decoded. The slice is
+	// copy-grown under mu before the snapshot introducing a new epoch is
+	// published; entries are pointers because atomic.Int64 must not be
+	// copied during growth.
+	capRefs atomic.Pointer[[]*atomic.Int64]
+
+	// collectFloor is the highest floor a DAG collection has run with;
+	// maybeCollect CASes it forward so a pass that did not advance the
+	// low-water mark costs one atomic load.
+	collectFloor atomic.Uint64
+
+	// nodeRel is the attached observer's NodeReleaser upgrade (resolved
+	// at SetContextObserver time, like nodeObs), called before each
+	// collection so shard maps holding *ccdag.Node keys drop their pins.
+	nodeRel atomic.Pointer[NodeReleaser]
 
 	// Always-on latency histograms over the runtime's own control
 	// points. They exist regardless of any sink — the warmup suite
@@ -297,6 +318,8 @@ func New(p *prog.Program, opt Options) *DACCE {
 		trapHist:   telemetry.NewHistogram(telemetry.DurationBuckets()),
 		decodeHist: telemetry.NewHistogram(telemetry.DurationBuckets()),
 	}
+	refs := []*atomic.Int64{new(atomic.Int64)}
+	d.capRefs.Store(&refs)
 	if opt.ContextObserver != nil {
 		d.SetContextObserver(opt.ContextObserver)
 	}
@@ -392,8 +415,16 @@ func (d *DACCE) ThreadStart(t, parent *machine.Thread) {
 
 // ThreadExit implements machine.Scheme: register any edges still
 // sitting in the exiting thread's publication buffer — nobody will
-// flush it afterwards.
+// flush it afterwards — and drop the exiting thread's spawn capture's
+// epoch reference. The spawn capture object itself is not pooled:
+// retained samples may still point at it through Capture.Spawn, and
+// dropping only the refcount is safe because any later decode of such
+// a sample holds the sample's own (newer) epoch reference and stamps
+// the spawn chain's nodes with the then-current generation.
 func (d *DACCE) ThreadExit(t *machine.Thread) {
+	if sc, ok := t.SpawnCapture.(*Capture); ok && sc != nil {
+		d.releaseEpoch(sc.Epoch)
+	}
 	st, ok := t.State.(*tls)
 	if !ok || st == nil || st.disc == nil {
 		return
@@ -422,6 +453,7 @@ func (d *DACCE) Capture(t *machine.Thread) any {
 	if sc, ok := t.SpawnCapture.(*Capture); ok {
 		c.Spawn = sc
 	}
+	d.retainEpoch(c.Epoch)
 	t.C.CCDepthSum += int64(len(st.cc))
 	t.C.CCDepthN++
 	return c
@@ -445,6 +477,7 @@ func (d *DACCE) ReleaseCapture(capture any) {
 	if !ok || c == nil {
 		return
 	}
+	d.releaseEpoch(c.Epoch)
 	c.Spawn = nil
 	capturePool.Put(c)
 }
@@ -487,7 +520,7 @@ func (d *DACCE) OnSample(t *machine.Thread, capture any) {
 			// the node is retainable where the scratch slice is not.
 			if nop := d.nodeObs.Load(); nop != nil {
 				nd := st.lastNode
-				if !nodeMatches(nd, ctx) {
+				if !d.dag.Fresh(nd) || !nodeMatches(nd, ctx) {
 					nd = internContext(d.dag, ctx)
 					st.lastNode = nd
 				}
@@ -597,7 +630,16 @@ func (d *DACCE) SetContextObserver(o ContextObserver) {
 	if o == nil {
 		d.ctxObs.Store(nil)
 		d.nodeObs.Store(nil)
+		d.nodeRel.Store(nil)
 		return
+	}
+	// An observer that retains nodes (NodeObserver) may also know how to
+	// release them; resolve that upgrade once here so maybeCollect pays a
+	// load, not a type assertion.
+	if rel, ok := o.(NodeReleaser); ok {
+		d.nodeRel.Store(&rel)
+	} else {
+		d.nodeRel.Store(nil)
 	}
 	if no, ok := o.(NodeObserver); ok {
 		d.ctxObs.Store(nil)

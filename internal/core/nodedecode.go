@@ -26,7 +26,11 @@ import (
 var nodeScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
 
 // DAG returns the encoder's context DAG — the intern table every
-// DecodeNode result lives in for the life of the encoder.
+// DecodeNode result lives in. Nodes stay canonical at least as long as
+// their capture's epoch is at or above the encoder's low-water epoch;
+// after that a reclamation pass may drop them from the table (the
+// pointer stays valid memory, but a later decode of the same context
+// interns a fresh node — see reclaim.go).
 func (d *DACCE) DAG() *ccdag.DAG { return d.dag }
 
 // DecodeNode decodes a capture into its canonical interned context

@@ -358,7 +358,13 @@ func (d *DACCE) commitPlanLocked(self *machine.Thread, plan *passPlan, start, pa
 		tail:     snap.tail,
 		compress: plan.compress,
 	}
+	// The new epoch's capture refcounter must exist before any reader can
+	// see the epoch, and the DAG's generation advances in lockstep with
+	// the epoch counter so gen == epoch holds for the reclamation floor
+	// arithmetic (reclaim.go).
+	d.growRefsLocked(next.epoch)
 	d.snap.Store(next)
+	d.dag.AdvanceGen()
 
 	// Regenerate instrumentation and rewrite live thread state — current
 	// id, ccStack entries and the cookies of active frames ("the return
@@ -503,12 +509,14 @@ const reencodeSettleRounds = 8
 func (d *DACCE) maybeReencode(self *machine.Thread) {
 	if d.opt.SerializedDiscovery {
 		d.reencode(self)
+		d.maybeCollect()
 		return
 	}
 	if !d.reencodeGate.CompareAndSwap(false, true) {
 		return
 	}
 	defer d.reencodeGate.Store(false)
+	defer d.maybeCollect()
 	// Hold off while the burst is still advancing, but absorb at most
 	// one extra threshold's worth of discoveries: a yield hands whole
 	// scheduler quanta to the discovering threads, and an unbounded
@@ -533,6 +541,7 @@ func (d *DACCE) maybeReencode(self *machine.Thread) {
 func (d *DACCE) ForceReencode(exec prog.Exec) {
 	t, _ := exec.(*machine.Thread)
 	d.reencodeIf(t, passForceFull)
+	d.maybeCollect()
 }
 
 // ReencodeNow runs one re-encoding pass immediately, regardless of
@@ -550,6 +559,7 @@ func (d *DACCE) ReencodeNow(exec prog.Exec, incremental bool) {
 		mode = passForceIncremental
 	}
 	d.reencodeConcurrent(t, mode)
+	d.maybeCollect()
 }
 
 // reencodeConcurrent is the bounded-pause pass: admission check and

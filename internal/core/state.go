@@ -394,6 +394,13 @@ func Restore(p *prog.Program, opt Options, st *EncoderState) (*DACCE, error) {
 	d.edgesDiscovered.Store(int64(st.EdgesDiscovered))
 	d.edgeCount.Store(int64(g.NumEdges()))
 	d.backoff.Store(st.Backoff)
+	// The epoch counter jumps from 0 to the snapshot's epoch: size the
+	// per-epoch capture refcounts to cover it and raise the DAG
+	// generation in lockstep, exactly as commitPlanLocked does for the
+	// incremental case — otherwise the first Capture would index past
+	// the refcount vector, and post-restore decodes would stamp nodes
+	// below any future collection floor.
+	d.growRefsLocked(st.Epoch)
 	d.snap.Store(&encSnap{
 		epoch:    st.Epoch,
 		maxID:    dicts[len(dicts)-1].MaxID,
@@ -402,6 +409,7 @@ func Restore(p *prog.Program, opt Options, st *EncoderState) (*DACCE, error) {
 		tail:     tail,
 		compress: compress,
 	})
+	d.dag.RaiseGen(uint64(st.Epoch))
 	d.mu.Unlock()
 	return d, nil
 }

@@ -79,6 +79,10 @@ type Stats struct {
 	// IncrementalPasses counts re-encodings served by the incremental
 	// renumbering (Options.Incremental).
 	IncrementalPasses int
+	// DAGCollections/DAGCollected count DAG reclamation passes run by
+	// maybeCollect and the total context nodes they freed.
+	DAGCollections int
+	DAGCollected   int64
 	// Nodes/Edges/MaxID describe the final dynamic call graph.
 	Nodes      int
 	Edges      int

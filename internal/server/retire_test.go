@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dacce/internal/ccdag"
+	"dacce/internal/core"
+)
+
+// decodeJSONBody decodes and closes an HTTP response body, failing the
+// test on a non-200 status.
+func decodeJSONBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetireEpochBoundsMemoAndDAG drives the full retirement path over
+// HTTP: decode everything (warming memo, DAG and profiler), retire all
+// epochs, and check that the memo empties, the DAG shrinks to what the
+// (now empty) memo pins, stats expose the reclamation, and decoding the
+// same captures afterwards still matches the in-process encoder — a
+// retirement is a memory policy, never a data deletion.
+func TestRetireEpochBoundsMemoAndDAG(t *testing.T) {
+	f := newServeFixture(t, Config{}, 30_000, 29)
+	if _, dr := f.decode(t, "serve", f.captures); dr == nil {
+		t.Fatal("warm decode failed")
+	}
+	tn := f.srv.resolve("serve")
+	if tn.memoSize.Load() == 0 {
+		t.Fatal("warm decode memoized nothing")
+	}
+	nodesBefore := tn.dag.Len()
+
+	var maxEpoch uint32
+	for _, c := range f.captures {
+		if c.Epoch > maxEpoch {
+			maxEpoch = c.Epoch
+		}
+	}
+	resp, err := http.Post(f.ts.URL+"/v1/retire?tenant=serve&epoch="+
+		strconv.FormatUint(uint64(maxEpoch), 10), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info RetireInfo
+	decodeJSONBody(t, resp, &info)
+	if info.MemoDropped == 0 || info.Collect.Freed == 0 {
+		t.Fatalf("retire dropped %d memo entries, freed %d nodes — want both > 0 (%+v)",
+			info.MemoDropped, info.Collect.Freed, info)
+	}
+	if got := tn.memoSize.Load(); got != 0 {
+		t.Fatalf("memo size %d after retiring every epoch, want 0", got)
+	}
+	if got := tn.dag.Len(); got >= nodesBefore {
+		t.Fatalf("DAG holds %d nodes after full retirement, had %d before", got, nodesBefore)
+	}
+
+	// Reclamation shows up in /v1/stats.
+	var st Stats
+	sresp, err := http.Get(f.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeJSONBody(t, sresp, &st)
+	ts0 := st.Tenants[0]
+	if ts0.DAGCollections == 0 || ts0.DAGCollected == 0 {
+		t.Fatalf("stats report %d collections / %d collected, want both > 0",
+			ts0.DAGCollections, ts0.DAGCollected)
+	}
+	if ts0.MemoSize != 0 {
+		t.Fatalf("stats memo_size = %d after full retirement", ts0.MemoSize)
+	}
+	if ts0.DAGNodes != tn.dag.Len() {
+		t.Fatalf("stats dag_nodes = %d, live table has %d (stale pre-collection figure?)",
+			ts0.DAGNodes, tn.dag.Len())
+	}
+
+	// Post-retirement decodes still produce the in-process frames.
+	_, dr := f.decode(t, "serve", f.captures[:min(512, len(f.captures))])
+	if dr == nil {
+		t.Fatal("decode after retirement failed")
+	}
+	for i, res := range dr.Results {
+		want, err := f.d.Decode(f.captures[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Error != "" || len(res.Frames) != len(want) {
+			t.Fatalf("capture %d after retirement: error %q, %d frames want %d",
+				i, res.Error, len(res.Frames), len(want))
+		}
+		for j, fr := range res.Frames {
+			if fr.Site != want[j].Site || fr.Fn != want[j].Fn {
+				t.Fatalf("capture %d frame %d diverged after retirement", i, j)
+			}
+		}
+	}
+}
+
+// TestMemoizableWithCC checks the CC-suffix-hash key: captures carrying
+// a non-empty ccStack are memoizable now, a repeat pass serves them
+// from the memo, and distinct ccStacks never collide onto one entry.
+func TestMemoizableWithCC(t *testing.T) {
+	f := newServeFixture(t, Config{}, 60_000, 17)
+	var withCC []*core.Capture
+	for _, c := range f.captures {
+		if len(c.CC) > 0 && c.Spawn == nil {
+			withCC = append(withCC, c)
+		}
+	}
+	if len(withCC) == 0 {
+		t.Skip("workload produced no ccStack captures without spawn chains")
+	}
+	if !memoizable(withCC[0]) {
+		t.Fatal("ccStack capture not memoizable")
+	}
+	first, dr1 := f.decode(t, "serve", withCC)
+	if dr1 == nil {
+		t.Fatalf("first pass: HTTP %d", first.StatusCode)
+	}
+	tn := f.srv.resolve("serve")
+	missesAfterWarm := tn.memoMisses.Load()
+	_, dr2 := f.decode(t, "serve", withCC)
+	if dr2 == nil {
+		t.Fatal("second pass failed")
+	}
+	if got := tn.memoMisses.Load(); got != missesAfterWarm {
+		t.Fatalf("second pass took %d new misses, want 0 (all from memo)", got-missesAfterWarm)
+	}
+	for i := range dr1.Results {
+		a, b := dr1.Results[i], dr2.Results[i]
+		if len(a.Frames) != len(b.Frames) {
+			t.Fatalf("capture %d: memoized pass returned %d frames, first %d",
+				i, len(b.Frames), len(a.Frames))
+		}
+		for j := range a.Frames {
+			if a.Frames[j] != b.Frames[j] {
+				t.Fatalf("capture %d frame %d changed across memoization", i, j)
+			}
+		}
+		// Cross-check against the in-process decode: a key collision
+		// between different ccStacks would surface here as wrong frames.
+		want, err := f.d.Decode(withCC[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Frames) != len(want) {
+			t.Fatalf("capture %d: memoized %d frames, in-process %d", i, len(b.Frames), len(want))
+		}
+	}
+}
+
+// TestMemoMissRaceAccounting hammers one previously unseen capture from
+// many goroutines: however the misses race, exactly one insert must win
+// (misses == entries created) and hits + misses must equal the decode
+// count — the check-then-insert fix.
+func TestMemoMissRaceAccounting(t *testing.T) {
+	f := newServeFixture(t, Config{}, 30_000, 29)
+	tn := f.srv.resolve("serve")
+	var target *core.Capture
+	for _, c := range f.captures {
+		if memoizable(c) {
+			target = c
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no memoizable capture in fixture")
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	nodes := make([]*ccdag.Node, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tn.genMu.RLock()
+			n, err := tn.decodeNode(target)
+			tn.genMu.RUnlock()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			nodes[g] = n
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if nodes[g] != nodes[0] {
+			t.Fatalf("goroutine %d resolved a different node", g)
+		}
+	}
+	hits, misses := tn.memoHits.Load(), tn.memoMisses.Load()
+	if misses != tn.memoSize.Load() {
+		t.Fatalf("misses %d != memo entries %d — double-counted racing misses", misses, tn.memoSize.Load())
+	}
+	if hits+misses != goroutines {
+		t.Fatalf("hits %d + misses %d != %d decodes", hits, misses, goroutines)
+	}
+}

@@ -14,6 +14,7 @@
 //	POST /v1/decode                 batched decode: {tenant, captures[]}
 //	GET  /v1/snapshot?tenant=NAME   download the tenant's raw snapshot
 //	POST /v1/snapshot?tenant=NAME   register a snapshot (body = bytes)
+//	POST /v1/retire?tenant=N&epoch=E retire epochs ≤ E (drop memo, collect DAG)
 //	GET  /v1/stats                  build info + per-tenant statistics
 //	GET  /metrics                   Prometheus metrics
 //	GET  /debug/ccprof?tenant=NAME  live context profile (pprof/folded/tree)
@@ -88,16 +89,28 @@ type tenant struct {
 
 	// dag interns every context this tenant decodes; repeated contexts
 	// across requests share suffix storage and feed the profiler as
-	// canonical nodes.
+	// canonical nodes. It is bounded: RetireEpoch advances its
+	// generation and sweeps nodes not pinned by the surviving memo.
 	dag *ccdag.DAG
-	// memo caches fully-determined decodes: a capture with an empty
-	// ccStack and no spawn chain decodes to exactly one context per
-	// (epoch, id, fn, root), so its interned node can be returned
-	// without re-walking the snapshot. Captures with CC entries or a
-	// spawn prefix carry decode input outside the key and are never
-	// memoized.
+
+	// genMu orders decodes against epoch retirement: every decode holds
+	// the read side across its whole memo-lookup/walk/insert, so a
+	// retirement (write side) never collects the DAG while a decode's
+	// freshly interned chain is mid-flight — the server-side analogue of
+	// the encoder's capture refcounts.
+	genMu sync.RWMutex
+
+	// memo caches fully-determined decodes, bucketed by capture epoch so
+	// RetireEpoch drops a retired epoch's entries by unlinking its
+	// bucket — O(1) per epoch, not a scan. A capture with no spawn chain
+	// decodes to exactly one context per (epoch, id, fn, root, ccStack);
+	// the ccStack's content enters the key as a 64-bit FNV suffix hash
+	// (ccSuffixHash), which the memo treats as injective — the standard
+	// content-hash assumption. Captures with a spawn prefix carry decode
+	// input outside the key and are never memoized.
 	memoMu     sync.RWMutex
-	memo       map[memoKey]*ccdag.Node
+	memo       map[uint32]map[memoKey]*ccdag.Node
+	memoSize   atomic.Int64 // live entries across all epoch buckets
 	memoHits   atomic.Int64
 	memoMisses atomic.Int64
 
@@ -113,30 +126,66 @@ type tenant struct {
 	rejected atomic.Int64
 }
 
-// memoKey identifies one fully-determined decode: with no ccStack copy
-// and no spawn prefix, these four fields are the entire decode input.
+// memoKey identifies one fully-determined decode within its epoch
+// bucket: with no spawn prefix, (id, fn, root) plus the ccStack's
+// content hash are the entire decode input. The epoch is the bucket
+// index, not a key field.
 type memoKey struct {
-	epoch uint32
-	id    uint64
-	fn    prog.FuncID
-	root  prog.FuncID
+	id   uint64
+	fn   prog.FuncID
+	root prog.FuncID
+	cc   uint64 // ccSuffixHash of the capture's ccStack
+}
+
+// ccSuffixHash folds a capture's ccStack — length and every entry,
+// recursion bit included — into the 64-bit FNV the memo keys on, the
+// same mix Capture.Fingerprint uses. An empty stack hashes to the FNV
+// offset basis, so empty-ccStack captures keep one stable key.
+func ccSuffixHash(c *core.Capture) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(len(c.CC)))
+	for _, e := range c.CC {
+		mix(e.ID)
+		mix(uint64(uint32(e.Site)))
+		mix(uint64(uint32(e.Target)))
+		v := uint64(e.Count)
+		if e.Rec {
+			v |= 1 << 63
+		}
+		mix(v)
+	}
+	return h
 }
 
 // memoizable reports whether a capture's decode is determined by its
-// memoKey alone.
+// (epoch bucket, memoKey) pair alone. Only a spawn prefix disqualifies:
+// the spawn chain is a linked structure of further captures whose
+// content the key cannot bound; ccStacks are hashed into the key.
 func memoizable(c *core.Capture) bool {
-	return len(c.CC) == 0 && c.Spawn == nil
+	return c.Spawn == nil
 }
 
 // decodeNode resolves a capture to its interned context node, through
-// the memo when the capture is memoizable.
+// the memo when the capture is memoizable. Caller holds t.genMu.RLock
+// (handleDecode takes it per batch), so no retirement can sweep the
+// DAG mid-walk.
 func (t *tenant) decodeNode(c *core.Capture) (*ccdag.Node, error) {
 	if !memoizable(c) {
 		return t.dec.DecodeNode(t.dag, c)
 	}
-	key := memoKey{epoch: c.Epoch, id: c.ID, fn: c.Fn, root: c.Root}
+	key := memoKey{id: c.ID, fn: c.Fn, root: c.Root, cc: ccSuffixHash(c)}
 	t.memoMu.RLock()
-	n, ok := t.memo[key]
+	n, ok := t.memo[c.Epoch][key]
 	t.memoMu.RUnlock()
 	if ok {
 		t.memoHits.Add(1)
@@ -146,11 +195,82 @@ func (t *tenant) decodeNode(c *core.Capture) (*ccdag.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.memoMisses.Add(1)
+	// Re-check under the write lock: two concurrent misses both decode,
+	// but only the first insert wins — the loser adopts the resident
+	// node (identical by interning, but adopting keeps the accounting
+	// exact) and counts a hit, so misses always equals entries created.
 	t.memoMu.Lock()
-	t.memo[key] = n
+	b := t.memo[c.Epoch]
+	if b == nil {
+		b = map[memoKey]*ccdag.Node{}
+		t.memo[c.Epoch] = b
+	}
+	if prev, ok := b[key]; ok {
+		t.memoMu.Unlock()
+		t.memoHits.Add(1)
+		return prev, nil
+	}
+	b[key] = n
 	t.memoMu.Unlock()
+	t.memoSize.Add(1)
+	t.memoMisses.Add(1)
 	return n, nil
+}
+
+// retireEpoch declares every capture of epochs ≤ epoch dead: their memo
+// buckets are unlinked, the profiler's node pins are flushed, and the
+// DAG is swept with the surviving memo entries as roots. Returns the
+// number of memo entries dropped and the collection's statistics.
+// Blocks until in-flight decodes drain (genMu write side) and excludes
+// new ones for the duration, so no mid-walk chain can be swept.
+func (t *tenant) retireEpoch(epoch uint32) (int64, ccdag.CollectStats) {
+	t.genMu.Lock()
+	defer t.genMu.Unlock()
+	var dropped int64
+	t.memoMu.Lock()
+	for e, b := range t.memo {
+		if e <= epoch {
+			dropped += int64(len(b))
+			delete(t.memo, e)
+		}
+	}
+	t.memoMu.Unlock()
+	t.memoSize.Add(-dropped)
+	// Fold the profiler's pending per-node counts into its merged tree
+	// and drop the node keys; without this the shard maps would pin
+	// every node ever sampled and the sweep below would free nothing.
+	t.prof.ReleaseNodes()
+	// Everything not reachable from a surviving memo entry is garbage:
+	// non-memoized decodes materialize their frames inside the request,
+	// so the memo is the only long-lived canonical pin. Advancing the
+	// generation first makes the whole current table stale except what
+	// the pin callback re-marks.
+	floor := t.dag.AdvanceGen()
+	st := t.dag.Collect(floor, func(mark func(*ccdag.Node)) {
+		for _, b := range t.memo {
+			for _, n := range b {
+				mark(n)
+			}
+		}
+	})
+	return dropped, st
+}
+
+// RetireEpoch retires epochs ≤ epoch of the referenced tenant (name or
+// name@hash): memo buckets for retired epochs are dropped in O(1) each,
+// profiler node pins are released, and the tenant's context DAG is
+// collected down to the entries the surviving memo still pins. Safe
+// against concurrent decodes. Exposed over HTTP as POST /v1/retire.
+func (s *Server) RetireEpoch(ref string, epoch uint32) (RetireInfo, error) {
+	t := s.resolve(ref)
+	if t == nil {
+		return RetireInfo{}, fmt.Errorf("server: unknown tenant %q", ref)
+	}
+	dropped, st := t.retireEpoch(epoch)
+	return RetireInfo{
+		Tenant: t.name, Hash: t.hash, Epoch: epoch,
+		MemoDropped: dropped, Collect: st,
+	}, nil
 }
 
 // Server is the decode service. Create with New, serve via Handler.
@@ -202,6 +322,9 @@ func New(cfg Config) *Server {
 	reg.Help("dacced_dag_bytes_estimate", "Estimated context-DAG memory footprint per tenant (bytes)")
 	reg.Help("dacced_memo_hits", "Decodes served from the per-tenant node memo")
 	reg.Help("dacced_memo_misses", "Memoizable decodes that had to walk the snapshot")
+	reg.Help("dacced_memo_size", "Live decode-memo entries per tenant, all epoch buckets")
+	reg.Help("dacced_dag_collected_total", "Context-DAG nodes freed by epoch retirement per tenant")
+	reg.Help("dacced_dag_collections_total", "Context-DAG reclamation passes per tenant")
 	s.mRequests = func(endpoint, code string) *telemetry.Counter {
 		return reg.Counter("dacced_requests_total", "endpoint", endpoint, "code", code)
 	}
@@ -219,6 +342,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/decode", s.handleDecode)
 	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v1/retire", s.handleRetire)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/ccprof", s.handleCcprof)
@@ -231,8 +355,8 @@ func New(cfg Config) *Server {
 // the label space.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/v1/decode", "/v1/snapshot", "/v1/stats", "/metrics",
-		"/debug/ccprof", "/debug/vars":
+	case "/healthz", "/v1/decode", "/v1/snapshot", "/v1/retire", "/v1/stats",
+		"/metrics", "/debug/ccprof", "/debug/vars":
 		return path
 	}
 	return "other"
@@ -286,7 +410,7 @@ func (s *Server) Register(name string, data []byte) (string, error) {
 		raw:   data,
 		prof:  ccprof.NewStreaming(dec.P),
 		dag:   ccdag.New(),
-		memo:  map[memoKey]*ccdag.Node{},
+		memo:  map[uint32]map[memoKey]*ccdag.Node{},
 		slots: make(chan struct{}, s.cfg.MaxConcurrent),
 	}
 	s.mu.Lock()
@@ -379,6 +503,16 @@ type DecodeResponse struct {
 	Results []DecodeResult `json:"results"`
 }
 
+// RetireInfo is the POST /v1/retire response body: what one epoch
+// retirement dropped from the tenant's memo and reclaimed from its DAG.
+type RetireInfo struct {
+	Tenant      string             `json:"tenant"`
+	Hash        string             `json:"hash"`
+	Epoch       uint32             `json:"epoch"`
+	MemoDropped int64              `json:"memo_dropped"`
+	Collect     ccdag.CollectStats `json:"collect"`
+}
+
 // SnapshotInfo is the POST /v1/snapshot response body.
 type SnapshotInfo struct {
 	Tenant string `json:"tenant"`
@@ -404,12 +538,17 @@ type TenantStats struct {
 	Queued    int64  `json:"queued"`
 	SnapBytes int    `json:"snapshot_bytes"`
 
-	// Context-DAG and decode-memo health.
-	DAGNodes    int64   `json:"dag_nodes"`
-	DAGHitRate  float64 `json:"dag_hit_rate"`
-	DAGBytesEst int64   `json:"dag_bytes_estimate"`
-	MemoHits    int64   `json:"memo_hits"`
-	MemoMisses  int64   `json:"memo_misses"`
+	// Context-DAG and decode-memo health. DAGNodes and DAGBytesEst are
+	// post-collection figures — the live intern table, not cumulative
+	// interning; DAGCollections/DAGCollected show reclamation working.
+	DAGNodes       int64   `json:"dag_nodes"`
+	DAGHitRate     float64 `json:"dag_hit_rate"`
+	DAGBytesEst    int64   `json:"dag_bytes_estimate"`
+	DAGCollections int64   `json:"dag_collections"`
+	DAGCollected   int64   `json:"dag_collected"`
+	MemoHits       int64   `json:"memo_hits"`
+	MemoMisses     int64   `json:"memo_misses"`
+	MemoSize       int64   `json:"memo_size"`
 }
 
 // Stats is the /v1/stats response body.
@@ -487,8 +626,11 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		Results: make([]DecodeResult, 0, len(req.Captures)),
 	}
 	// mctx is the batch's node-materialization buffer, reused across
-	// captures.
+	// captures. The whole batch runs under the tenant's retirement
+	// read-lock: a concurrent RetireEpoch drains the batch instead of
+	// sweeping a chain some capture here is mid-walk on.
 	var mctx core.Context
+	t.genMu.RLock()
 	for _, c := range req.Captures {
 		var res DecodeResult
 		if c == nil {
@@ -514,6 +656,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, res)
 	}
+	t.genMu.RUnlock()
 	s.mLatency.Observe(time.Since(start).Microseconds())
 	s.writeJSON(w, ep, http.StatusOK, &resp)
 }
@@ -554,6 +697,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRetire serves POST /v1/retire?tenant=NAME&epoch=N: retire every
+// epoch ≤ N of the tenant — drop their memo buckets and collect the
+// context DAG down to the surviving memo's pins.
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	const ep = "retire"
+	if r.Method != http.MethodPost {
+		s.writeError(w, ep, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	ref := r.URL.Query().Get("tenant")
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 32)
+	if err != nil {
+		s.writeError(w, ep, http.StatusBadRequest, "epoch parameter: %v", err)
+		return
+	}
+	info, err := s.RetireEpoch(ref, uint32(epoch))
+	if err != nil {
+		s.writeError(w, ep, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.writeJSON(w, ep, http.StatusOK, &info)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{Build: buildinfo.Get(), Inflight: s.inflight.Load()}
 	s.mu.RLock()
@@ -566,23 +732,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		t := s.tenants[key]
 		dst := t.dag.Stats()
 		st.Tenants = append(st.Tenants, TenantStats{
-			DAGNodes:    dst.Nodes,
-			DAGHitRate:  dst.HitRate(),
-			DAGBytesEst: dst.BytesEstimate,
-			MemoHits:    t.memoHits.Load(),
-			MemoMisses:  t.memoMisses.Load(),
-			Name:        t.name,
-			Hash:        t.hash,
-			Epochs:      len(t.st.Epochs),
-			Funcs:       len(t.st.Funcs),
-			Edges:       len(t.st.Edges),
-			MaxID:       t.st.Epochs[len(t.st.Epochs)-1].MaxID,
-			Requests:    t.requests.Load(),
-			Decoded:     t.decoded.Load(),
-			Errors:      t.errors.Load(),
-			Rejected:    t.rejected.Load(),
-			Queued:      t.queued.Load(),
-			SnapBytes:   len(t.raw),
+			DAGNodes:       dst.Nodes,
+			DAGHitRate:     dst.HitRate(),
+			DAGBytesEst:    dst.BytesEstimate,
+			DAGCollections: dst.Collections,
+			DAGCollected:   dst.Collected,
+			MemoHits:       t.memoHits.Load(),
+			MemoMisses:     t.memoMisses.Load(),
+			MemoSize:       t.memoSize.Load(),
+			Name:           t.name,
+			Hash:           t.hash,
+			Epochs:         len(t.st.Epochs),
+			Funcs:          len(t.st.Funcs),
+			Edges:          len(t.st.Edges),
+			MaxID:          t.st.Epochs[len(t.st.Epochs)-1].MaxID,
+			Requests:       t.requests.Load(),
+			Decoded:        t.decoded.Load(),
+			Errors:         t.errors.Load(),
+			Rejected:       t.rejected.Load(),
+			Queued:         t.queued.Load(),
+			SnapBytes:      len(t.raw),
 		})
 	}
 	s.mu.RUnlock()
@@ -601,8 +770,11 @@ func (s *Server) refreshTenantGauges() {
 		reg.Gauge("dacced_dag_intern_hits", "tenant", t.name).Set(st.Hits)
 		reg.Gauge("dacced_dag_intern_misses", "tenant", t.name).Set(st.Misses)
 		reg.Gauge("dacced_dag_bytes_estimate", "tenant", t.name).Set(st.BytesEstimate)
+		reg.Gauge("dacced_dag_collected_total", "tenant", t.name).Set(st.Collected)
+		reg.Gauge("dacced_dag_collections_total", "tenant", t.name).Set(st.Collections)
 		reg.Gauge("dacced_memo_hits", "tenant", t.name).Set(t.memoHits.Load())
 		reg.Gauge("dacced_memo_misses", "tenant", t.name).Set(t.memoMisses.Load())
+		reg.Gauge("dacced_memo_size", "tenant", t.name).Set(t.memoSize.Load())
 	}
 	s.mu.RUnlock()
 }
